@@ -1,0 +1,304 @@
+//! Simulated annealing on total time.
+//!
+//! The paper cites Kirkpatrick et al. \[3\] and a companion study of
+//! "Quenching and Slow Simulated Annealing in the Mapping Problem"
+//! \[14\] (Lee & Bic 1989). We provide both schedules so ablation A1 can
+//! compare them with the paper's pinned random re-placement: neighbors
+//! are random pairwise swaps, acceptance is Metropolis on the total-time
+//! delta, cooling is geometric.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use mimd_graph::error::GraphError;
+use mimd_graph::Time;
+use mimd_taskgraph::ClusteredProblemGraph;
+use mimd_topology::SystemGraph;
+
+use mimd_core::evaluate::evaluate_assignment;
+use mimd_core::schedule::EvaluationModel;
+use mimd_core::Assignment;
+
+/// Annealing schedule parameters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AnnealingSchedule {
+    /// Starting temperature (in time units of objective delta).
+    pub t0: f64,
+    /// Geometric cooling factor per stage (`0 < alpha < 1`).
+    pub alpha: f64,
+    /// Proposals per temperature stage.
+    pub moves_per_stage: usize,
+    /// Stop when the temperature falls below this.
+    pub t_min: f64,
+}
+
+impl AnnealingSchedule {
+    /// "Slow" annealing à la \[14\]: gentle cooling, many moves.
+    pub fn slow(ns: usize) -> Self {
+        AnnealingSchedule {
+            t0: 30.0,
+            alpha: 0.95,
+            moves_per_stage: 4 * ns.max(1),
+            t_min: 0.1,
+        }
+    }
+
+    /// "Quenching": aggressive cooling, few moves — cheap but greedy.
+    pub fn quench(ns: usize) -> Self {
+        AnnealingSchedule {
+            t0: 30.0,
+            alpha: 0.70,
+            moves_per_stage: ns.max(1),
+            t_min: 0.1,
+        }
+    }
+
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err(GraphError::InvalidParameter(format!(
+                "alpha {} must be in (0,1)",
+                self.alpha
+            )));
+        }
+        if self.t0 <= 0.0 || self.t_min <= 0.0 || self.t0 < self.t_min {
+            return Err(GraphError::InvalidParameter(
+                "need 0 < t_min <= t0 for annealing".into(),
+            ));
+        }
+        if self.moves_per_stage == 0 {
+            return Err(GraphError::InvalidParameter(
+                "moves_per_stage must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of an annealing run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AnnealingOutcome {
+    /// Best assignment seen across the whole run.
+    pub assignment: Assignment,
+    /// Its total time.
+    pub total: Time,
+    /// Proposals evaluated.
+    pub evaluations: usize,
+    /// Proposals accepted.
+    pub accepted: usize,
+}
+
+/// Anneal from `start` (or a random assignment if `None`), stopping early
+/// when `lower_bound` is reached.
+pub fn simulated_annealing(
+    graph: &ClusteredProblemGraph,
+    system: &SystemGraph,
+    start: Option<&Assignment>,
+    lower_bound: Time,
+    schedule: &AnnealingSchedule,
+    model: EvaluationModel,
+    rng: &mut impl Rng,
+) -> Result<AnnealingOutcome, GraphError> {
+    schedule.validate()?;
+    let n = system.len();
+    if graph.num_clusters() != n {
+        return Err(GraphError::SizeMismatch {
+            left: graph.num_clusters(),
+            right: n,
+        });
+    }
+    let mut current = match start {
+        Some(a) => {
+            if a.len() != n {
+                return Err(GraphError::SizeMismatch {
+                    left: a.len(),
+                    right: n,
+                });
+            }
+            a.clone()
+        }
+        None => Assignment::random(n, rng),
+    };
+    let mut current_total = evaluate_assignment(graph, system, &current, model)?.total();
+    let mut best = current.clone();
+    let mut best_total = current_total;
+    let mut evaluations = 1;
+    let mut accepted = 0;
+
+    let mut temp = schedule.t0;
+    while temp >= schedule.t_min && best_total > lower_bound && n > 1 {
+        for _ in 0..schedule.moves_per_stage {
+            let a = rng.gen_range(0..n);
+            let mut b = rng.gen_range(0..n);
+            while b == a {
+                b = rng.gen_range(0..n);
+            }
+            current.swap_clusters(a, b);
+            let t = evaluate_assignment(graph, system, &current, model)?.total();
+            evaluations += 1;
+            let delta = t as f64 - current_total as f64;
+            let accept = delta <= 0.0 || rng.gen_bool((-delta / temp).exp().clamp(0.0, 1.0));
+            if accept {
+                current_total = t;
+                accepted += 1;
+                if t < best_total {
+                    best_total = t;
+                    best = current.clone();
+                    if best_total == lower_bound {
+                        break;
+                    }
+                }
+            } else {
+                current.swap_clusters(a, b);
+            }
+        }
+        temp *= schedule.alpha;
+    }
+
+    Ok(AnnealingOutcome {
+        assignment: best,
+        total: best_total,
+        evaluations,
+        accepted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimd_taskgraph::paper;
+    use mimd_topology::ring;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ClusteredProblemGraph, SystemGraph) {
+        (paper::worked_example(), ring(4).unwrap())
+    }
+
+    #[test]
+    fn slow_annealing_finds_the_optimum_on_small_instance() {
+        let (g, sys) = setup();
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = simulated_annealing(
+            &g,
+            &sys,
+            None,
+            14,
+            &AnnealingSchedule::slow(4),
+            EvaluationModel::Precedence,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.total, 14);
+    }
+
+    #[test]
+    fn quench_uses_fewer_evaluations_than_slow() {
+        let (g, sys) = setup();
+        let slow = simulated_annealing(
+            &g,
+            &sys,
+            Some(&Assignment::identity(4)),
+            0, // unreachable bound: run to completion
+            &AnnealingSchedule::slow(4),
+            EvaluationModel::Precedence,
+            &mut StdRng::seed_from_u64(1),
+        )
+        .unwrap();
+        let quench = simulated_annealing(
+            &g,
+            &sys,
+            Some(&Assignment::identity(4)),
+            0,
+            &AnnealingSchedule::quench(4),
+            EvaluationModel::Precedence,
+            &mut StdRng::seed_from_u64(1),
+        )
+        .unwrap();
+        assert!(quench.evaluations < slow.evaluations);
+    }
+
+    #[test]
+    fn early_stop_at_lower_bound() {
+        let (g, sys) = setup();
+        let opt = Assignment::from_sys_of(paper::WORKED_OPTIMAL_ASSIGNMENT.to_vec()).unwrap();
+        let out = simulated_annealing(
+            &g,
+            &sys,
+            Some(&opt),
+            14,
+            &AnnealingSchedule::slow(4),
+            EvaluationModel::Precedence,
+            &mut StdRng::seed_from_u64(2),
+        )
+        .unwrap();
+        assert_eq!(out.total, 14);
+        assert_eq!(out.evaluations, 1, "already optimal: no proposals needed");
+    }
+
+    #[test]
+    fn schedule_validation() {
+        let (g, sys) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        for bad in [
+            AnnealingSchedule {
+                alpha: 1.0,
+                ..AnnealingSchedule::slow(4)
+            },
+            AnnealingSchedule {
+                alpha: 0.0,
+                ..AnnealingSchedule::slow(4)
+            },
+            AnnealingSchedule {
+                t0: -1.0,
+                ..AnnealingSchedule::slow(4)
+            },
+            AnnealingSchedule {
+                moves_per_stage: 0,
+                ..AnnealingSchedule::slow(4)
+            },
+            AnnealingSchedule {
+                t0: 0.05,
+                t_min: 0.1,
+                ..AnnealingSchedule::slow(4)
+            },
+        ] {
+            assert!(
+                simulated_annealing(
+                    &g,
+                    &sys,
+                    None,
+                    0,
+                    &bad,
+                    EvaluationModel::Precedence,
+                    &mut rng
+                )
+                .is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn never_returns_worse_than_start() {
+        let (g, sys) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..5 {
+            let start = Assignment::random(4, &mut rng);
+            let t0 = evaluate_assignment(&g, &sys, &start, EvaluationModel::Precedence)
+                .unwrap()
+                .total();
+            let out = simulated_annealing(
+                &g,
+                &sys,
+                Some(&start),
+                14,
+                &AnnealingSchedule::quench(4),
+                EvaluationModel::Precedence,
+                &mut rng,
+            )
+            .unwrap();
+            assert!(out.total <= t0);
+        }
+    }
+}

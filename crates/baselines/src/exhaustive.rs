@@ -1,0 +1,143 @@
+//! Exact optimum by enumerating all `ns!` assignments.
+//!
+//! Feasible up to `ns ≈ 10`; used as ground truth in tests and to verify
+//! the §2.2 counterexample claims ("it is easy to prove that A1 ... is
+//! the optimal solution according to the cardinality measure").
+
+use mimd_graph::error::GraphError;
+use mimd_graph::Time;
+use mimd_taskgraph::ClusteredProblemGraph;
+use mimd_topology::SystemGraph;
+
+use mimd_core::evaluate::evaluate_assignment;
+use mimd_core::schedule::EvaluationModel;
+use mimd_core::Assignment;
+
+/// Hard cap on enumeration size (10! = 3.6M evaluations).
+pub const MAX_EXHAUSTIVE_NODES: usize = 10;
+
+/// Call `f` with every permutation of `0..n` (Heap's algorithm; the
+/// slice is reused between calls).
+pub fn for_each_assignment<F: FnMut(&[usize])>(n: usize, mut f: F) {
+    let mut items: Vec<usize> = (0..n).collect();
+    let mut c = vec![0usize; n];
+    f(&items);
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                items.swap(0, i);
+            } else {
+                items.swap(c[i], i);
+            }
+            f(&items);
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// The provably optimal assignment and its total time. Errors when
+/// `ns > MAX_EXHAUSTIVE_NODES` or sizes mismatch.
+pub fn exhaustive_optimum(
+    graph: &ClusteredProblemGraph,
+    system: &SystemGraph,
+    model: EvaluationModel,
+) -> Result<(Assignment, Time), GraphError> {
+    let n = system.len();
+    if n > MAX_EXHAUSTIVE_NODES {
+        return Err(GraphError::InvalidParameter(format!(
+            "exhaustive search limited to ns <= {MAX_EXHAUSTIVE_NODES}, got {n}"
+        )));
+    }
+    if graph.num_clusters() != n {
+        return Err(GraphError::SizeMismatch {
+            left: graph.num_clusters(),
+            right: n,
+        });
+    }
+    let mut best: Option<(Vec<usize>, Time)> = None;
+    let mut error: Option<GraphError> = None;
+    for_each_assignment(n, |perm| {
+        if error.is_some() {
+            return;
+        }
+        let a = Assignment::from_sys_of(perm.to_vec()).expect("permutation");
+        match evaluate_assignment(graph, system, &a, model) {
+            Ok(eval) => {
+                let t = eval.total();
+                if best.as_ref().map_or(true, |&(_, bt)| t < bt) {
+                    best = Some((perm.to_vec(), t));
+                }
+            }
+            Err(e) => error = Some(e),
+        }
+    });
+    if let Some(e) = error {
+        return Err(e);
+    }
+    let (perm, t) = best.expect("at least the identity permutation was evaluated");
+    Ok((Assignment::from_sys_of(perm).expect("permutation"), t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimd_taskgraph::paper;
+    use mimd_topology::{hypercube, ring};
+
+    #[test]
+    fn enumerates_n_factorial_permutations() {
+        let mut count = 0;
+        for_each_assignment(4, |_| count += 1);
+        assert_eq!(count, 24);
+        let mut count5 = 0;
+        for_each_assignment(5, |_| count5 += 1);
+        assert_eq!(count5, 120);
+    }
+
+    #[test]
+    fn permutations_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for_each_assignment(5, |p| {
+            assert!(seen.insert(p.to_vec()), "duplicate {p:?}");
+        });
+    }
+
+    #[test]
+    fn worked_example_optimum_is_lower_bound() {
+        let g = paper::worked_example();
+        let sys = ring(4).unwrap();
+        let (a, t) = exhaustive_optimum(&g, &sys, EvaluationModel::Precedence).unwrap();
+        assert_eq!(t, paper::WORKED_LOWER_BOUND);
+        // The optimum must place the critical pairs (0,1) and (0,2)
+        // adjacently on the ring.
+        assert!(sys.adjacent(a.sys_of(0), a.sys_of(1)));
+        assert!(sys.adjacent(a.sys_of(0), a.sys_of(2)));
+    }
+
+    #[test]
+    fn bokhari_counterexample_global_optimum_is_21() {
+        let ce = paper::bokhari_counterexample();
+        let g = ce.singleton_clustered();
+        let sys = hypercube(3).unwrap();
+        let (_, t) = exhaustive_optimum(&g, &sys, EvaluationModel::Precedence).unwrap();
+        assert_eq!(
+            t, ce.better_total,
+            "paper: assignment A2 reaches 21 time units"
+        );
+    }
+
+    #[test]
+    fn rejects_large_systems_and_mismatches() {
+        let ce = paper::bokhari_counterexample();
+        let g = ce.singleton_clustered();
+        let sys16 = hypercube(4).unwrap();
+        assert!(exhaustive_optimum(&g, &sys16, EvaluationModel::Precedence).is_err());
+        let sys4 = ring(4).unwrap();
+        assert!(exhaustive_optimum(&g, &sys4, EvaluationModel::Precedence).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Pairwise-exchange hill climbing on *total time* — the refinement
+//! alternative the paper dismisses: "It has been verified by our
+//! experiment that this method [random re-placement of non-critical
+//! clusters] works better than pairwise exchanges \[2\]" (§4.3.3).
+//! Implemented so ablation A1 can reproduce that comparison.
+
+use serde::{Deserialize, Serialize};
+
+use mimd_graph::error::GraphError;
+use mimd_graph::Time;
+use mimd_taskgraph::ClusteredProblemGraph;
+use mimd_topology::SystemGraph;
+
+use mimd_core::evaluate::evaluate_assignment;
+use mimd_core::schedule::EvaluationModel;
+use mimd_core::Assignment;
+
+/// Outcome of pairwise-exchange refinement.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairwiseOutcome {
+    /// Best assignment found.
+    pub assignment: Assignment,
+    /// Its total time.
+    pub total: Time,
+    /// Assignment evaluations performed.
+    pub evaluations: usize,
+    /// `true` iff the loop ended at a local optimum (rather than the
+    /// evaluation budget).
+    pub local_optimum: bool,
+}
+
+/// Best-improvement pairwise exchange from `start`, respecting `pinned`
+/// clusters (pass all-`false` to move everything), stopping at a local
+/// optimum, at `max_evaluations`, or when `lower_bound` is reached.
+pub fn pairwise_exchange(
+    graph: &ClusteredProblemGraph,
+    system: &SystemGraph,
+    start: &Assignment,
+    pinned: &[bool],
+    lower_bound: Time,
+    max_evaluations: usize,
+    model: EvaluationModel,
+) -> Result<PairwiseOutcome, GraphError> {
+    let n = system.len();
+    if start.len() != n || pinned.len() != n {
+        return Err(GraphError::SizeMismatch {
+            left: start.len(),
+            right: n,
+        });
+    }
+    let mut current = start.clone();
+    let mut current_total = evaluate_assignment(graph, system, &current, model)?.total();
+    let mut evaluations = 1;
+    let movable: Vec<usize> = (0..n).filter(|&a| !pinned[a]).collect();
+
+    loop {
+        if current_total == lower_bound {
+            return Ok(PairwiseOutcome {
+                assignment: current,
+                total: current_total,
+                evaluations,
+                local_optimum: false,
+            });
+        }
+        let mut best_swap: Option<(usize, usize, Time)> = None;
+        'search: for (i, &a) in movable.iter().enumerate() {
+            for &b in &movable[i + 1..] {
+                if evaluations >= max_evaluations {
+                    break 'search;
+                }
+                current.swap_clusters(a, b);
+                let t = evaluate_assignment(graph, system, &current, model)?.total();
+                current.swap_clusters(a, b);
+                evaluations += 1;
+                if t < current_total && best_swap.map_or(true, |(_, _, bt)| t < bt) {
+                    best_swap = Some((a, b, t));
+                }
+            }
+        }
+        match best_swap {
+            Some((a, b, t)) => {
+                current.swap_clusters(a, b);
+                current_total = t;
+                if evaluations >= max_evaluations {
+                    return Ok(PairwiseOutcome {
+                        assignment: current,
+                        total: current_total,
+                        evaluations,
+                        local_optimum: false,
+                    });
+                }
+            }
+            None => {
+                return Ok(PairwiseOutcome {
+                    assignment: current,
+                    total: current_total,
+                    evaluations,
+                    local_optimum: evaluations < max_evaluations,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimd_taskgraph::paper;
+    use mimd_topology::ring;
+
+    #[test]
+    fn improves_to_local_optimum() {
+        let g = paper::worked_example();
+        let sys = ring(4).unwrap();
+        let start = Assignment::from_sys_of(vec![3, 2, 1, 0]).unwrap();
+        let out = pairwise_exchange(
+            &g,
+            &sys,
+            &start,
+            &[false; 4],
+            14,
+            10_000,
+            EvaluationModel::Precedence,
+        )
+        .unwrap();
+        let t0 = evaluate_assignment(&g, &sys, &start, EvaluationModel::Precedence)
+            .unwrap()
+            .total();
+        assert!(out.total <= t0);
+        // On 4 clusters pairwise exchange explores enough to find 14.
+        assert_eq!(out.total, 14);
+    }
+
+    #[test]
+    fn stops_at_lower_bound() {
+        let g = paper::worked_example();
+        let sys = ring(4).unwrap();
+        let opt = Assignment::from_sys_of(paper::WORKED_OPTIMAL_ASSIGNMENT.to_vec()).unwrap();
+        let out = pairwise_exchange(
+            &g,
+            &sys,
+            &opt,
+            &[false; 4],
+            14,
+            10_000,
+            EvaluationModel::Precedence,
+        )
+        .unwrap();
+        assert_eq!(out.evaluations, 1, "only the initial evaluation");
+        assert_eq!(out.total, 14);
+    }
+
+    #[test]
+    fn respects_pins() {
+        let g = paper::worked_example();
+        let sys = ring(4).unwrap();
+        let start = Assignment::identity(4);
+        let out = pairwise_exchange(
+            &g,
+            &sys,
+            &start,
+            &[true, true, false, false],
+            0,
+            10_000,
+            EvaluationModel::Precedence,
+        )
+        .unwrap();
+        assert_eq!(out.assignment.sys_of(0), 0);
+        assert_eq!(out.assignment.sys_of(1), 1);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let g = paper::worked_example();
+        let sys = ring(4).unwrap();
+        let start = Assignment::from_sys_of(vec![3, 2, 1, 0]).unwrap();
+        let out = pairwise_exchange(
+            &g,
+            &sys,
+            &start,
+            &[false; 4],
+            0,
+            3,
+            EvaluationModel::Precedence,
+        )
+        .unwrap();
+        assert!(out.evaluations <= 4, "got {}", out.evaluations);
+        assert!(!out.local_optimum);
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let g = paper::worked_example();
+        let sys = ring(4).unwrap();
+        let start = Assignment::identity(4);
+        assert!(pairwise_exchange(
+            &g,
+            &sys,
+            &start,
+            &[false; 3],
+            0,
+            10,
+            EvaluationModel::Precedence
+        )
+        .is_err());
+    }
+}

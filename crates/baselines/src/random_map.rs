@@ -1,0 +1,135 @@
+//! Random mapping — the paper's evaluation baseline (§5).
+//!
+//! "To avoid criticism for having used only several special examples
+//! particularly suited to our approach, random mapping was chosen to be
+//! compared with our mapping strategy." Tables 1–3 report the *average*
+//! of several random mappings; we also expose best-of-`k` as a slightly
+//! stronger straw man for ablations.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use mimd_graph::error::GraphError;
+use mimd_graph::Time;
+use mimd_taskgraph::ClusteredProblemGraph;
+use mimd_topology::SystemGraph;
+
+use mimd_core::evaluate::evaluate_assignment;
+use mimd_core::schedule::EvaluationModel;
+use mimd_core::Assignment;
+
+/// Aggregate statistics of repeated random mappings.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RandomBaseline {
+    /// Mean total time (the figure the paper's tables use).
+    pub mean: f64,
+    /// Best (minimum) total observed.
+    pub min: Time,
+    /// Worst (maximum) total observed.
+    pub max: Time,
+    /// Number of samples.
+    pub reps: usize,
+}
+
+/// Evaluate `reps` uniformly random assignments and aggregate.
+pub fn random_baseline(
+    graph: &ClusteredProblemGraph,
+    system: &SystemGraph,
+    model: EvaluationModel,
+    reps: usize,
+    rng: &mut impl Rng,
+) -> Result<RandomBaseline, GraphError> {
+    if reps == 0 {
+        return Err(GraphError::InvalidParameter("need reps >= 1".into()));
+    }
+    let mut sum = 0u128;
+    let mut min = Time::MAX;
+    let mut max = 0;
+    for _ in 0..reps {
+        let a = Assignment::random(system.len(), rng);
+        let t = evaluate_assignment(graph, system, &a, model)?.total();
+        sum += u128::from(t);
+        min = min.min(t);
+        max = max.max(t);
+    }
+    Ok(RandomBaseline {
+        mean: sum as f64 / reps as f64,
+        min,
+        max,
+        reps,
+    })
+}
+
+/// Best assignment out of `k` random draws (returned with its total).
+pub fn best_of_random(
+    graph: &ClusteredProblemGraph,
+    system: &SystemGraph,
+    model: EvaluationModel,
+    k: usize,
+    rng: &mut impl Rng,
+) -> Result<(Assignment, Time), GraphError> {
+    if k == 0 {
+        return Err(GraphError::InvalidParameter("need k >= 1".into()));
+    }
+    let mut best: Option<(Assignment, Time)> = None;
+    for _ in 0..k {
+        let a = Assignment::random(system.len(), rng);
+        let t = evaluate_assignment(graph, system, &a, model)?.total();
+        if best.as_ref().map_or(true, |&(_, bt)| t < bt) {
+            best = Some((a, t));
+        }
+    }
+    Ok(best.expect("k >= 1"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimd_taskgraph::paper;
+    use mimd_topology::ring;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn baseline_statistics_are_consistent() {
+        let g = paper::worked_example();
+        let sys = ring(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let b = random_baseline(&g, &sys, EvaluationModel::Precedence, 100, &mut rng).unwrap();
+        assert!(b.min as f64 <= b.mean && b.mean <= b.max as f64);
+        assert!(b.min >= paper::WORKED_LOWER_BOUND);
+        assert_eq!(b.reps, 100);
+    }
+
+    #[test]
+    fn best_of_more_draws_is_no_worse() {
+        let g = paper::worked_example();
+        let sys = ring(4).unwrap();
+        let (_, t1) = best_of_random(
+            &g,
+            &sys,
+            EvaluationModel::Precedence,
+            1,
+            &mut StdRng::seed_from_u64(1),
+        )
+        .unwrap();
+        let (_, t64) = best_of_random(
+            &g,
+            &sys,
+            EvaluationModel::Precedence,
+            64,
+            &mut StdRng::seed_from_u64(1),
+        )
+        .unwrap();
+        assert!(t64 <= t1);
+    }
+
+    #[test]
+    fn zero_reps_rejected() {
+        let g = paper::worked_example();
+        let sys = ring(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(random_baseline(&g, &sys, EvaluationModel::Precedence, 0, &mut rng).is_err());
+        assert!(best_of_random(&g, &sys, EvaluationModel::Precedence, 0, &mut rng).is_err());
+    }
+}

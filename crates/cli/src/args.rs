@@ -1,0 +1,229 @@
+//! Tiny flag parser and the `--spec` / `--workload` mini-languages.
+
+use rand::Rng;
+
+use mimd_graph::error::GraphError;
+use mimd_taskgraph::{workloads, ProblemGraph};
+use mimd_topology::{SystemGraph, TopologySpec};
+
+/// Parsed `key -> value` flags (`--flag value` or boolean `--flag`).
+#[derive(Debug, Default)]
+pub struct Flags {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Flags {
+    /// Parse everything after the subcommand. A flag is boolean when the
+    /// next token is another flag (or the end).
+    pub fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("expected a --flag, found '{arg}'"));
+            };
+            let value = match args.get(i + 1) {
+                Some(next) if !next.starts_with("--") => {
+                    i += 1;
+                    Some(next.clone())
+                }
+                _ => None,
+            };
+            pairs.push((name.to_string(), value));
+            i += 1;
+        }
+        Ok(Flags { pairs })
+    }
+
+    /// String value of `name`.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// `true` iff `--name` appeared (with or without a value).
+    pub fn has(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(n, _)| n == name)
+    }
+
+    /// Parse a numeric flag with a default.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{name} '{v}'")),
+        }
+    }
+
+    /// Reject unknown flags (catches typos early).
+    pub fn allow_only(&self, allowed: &[&str]) -> Result<(), String> {
+        for (n, _) in &self.pairs {
+            if !allowed.contains(&n.as_str()) {
+                return Err(format!("unknown flag --{n}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parse the `--spec` mini-language into a [`TopologySpec`]:
+/// `hypercube:3`, `mesh:3x4`, `torus:3x4`, `ring:8`, `chain:8`,
+/// `star:8`, `tree:15`, `complete:8`, `random:16@0.1`.
+pub fn parse_topology(spec: &str) -> Result<TopologySpec, String> {
+    let (kind, rest) = spec
+        .split_once(':')
+        .ok_or("spec must look like 'kind:params'")?;
+    let bad = |what: &str| format!("bad {what} in spec '{spec}'");
+    match kind {
+        "hypercube" => Ok(TopologySpec::Hypercube {
+            dim: rest.parse().map_err(|_| bad("dimension"))?,
+        }),
+        "mesh" | "torus" => {
+            let (r, c) = rest.split_once('x').ok_or_else(|| bad("rows x cols"))?;
+            let rows = r.parse().map_err(|_| bad("rows"))?;
+            let cols = c.parse().map_err(|_| bad("cols"))?;
+            Ok(if kind == "mesh" {
+                TopologySpec::Mesh { rows, cols }
+            } else {
+                TopologySpec::Torus { rows, cols }
+            })
+        }
+        "ring" => Ok(TopologySpec::Ring {
+            n: rest.parse().map_err(|_| bad("n"))?,
+        }),
+        "chain" => Ok(TopologySpec::Chain {
+            n: rest.parse().map_err(|_| bad("n"))?,
+        }),
+        "star" => Ok(TopologySpec::Star {
+            n: rest.parse().map_err(|_| bad("n"))?,
+        }),
+        "tree" => Ok(TopologySpec::BinaryTree {
+            n: rest.parse().map_err(|_| bad("n"))?,
+        }),
+        "complete" => Ok(TopologySpec::Complete {
+            n: rest.parse().map_err(|_| bad("n"))?,
+        }),
+        "random" => {
+            let (n, p) = rest.split_once('@').ok_or_else(|| bad("n@p"))?;
+            Ok(TopologySpec::Random {
+                n: n.parse().map_err(|_| bad("n"))?,
+                p: p.parse().map_err(|_| bad("p"))?,
+            })
+        }
+        other => Err(format!("unknown topology kind '{other}'")),
+    }
+}
+
+/// Build a [`SystemGraph`] from a spec string.
+pub fn build_topology(spec: &str, rng: &mut impl Rng) -> Result<SystemGraph, String> {
+    parse_topology(spec)?
+        .build(rng)
+        .map_err(|e: GraphError| e.to_string())
+}
+
+/// Parse the `--workload` mini-language: `ge:12` (Gaussian elimination),
+/// `stencil:16x8`, `fft:5`, `dnc:4` (divide & conquer), `pipe:4x16`.
+pub fn parse_workload(spec: &str) -> Result<ProblemGraph, String> {
+    let (kind, rest) = spec
+        .split_once(':')
+        .ok_or("workload must look like 'kind:params'")?;
+    let err = |e: GraphError| e.to_string();
+    let bad = |what: &str| format!("bad {what} in workload '{spec}'");
+    match kind {
+        "ge" => {
+            let n = rest.parse().map_err(|_| bad("n"))?;
+            workloads::gaussian_elimination(n, 3, 5, 2).map_err(err)
+        }
+        "stencil" => {
+            let (w, s) = rest.split_once('x').ok_or_else(|| bad("width x steps"))?;
+            workloads::stencil_1d(
+                w.parse().map_err(|_| bad("width"))?,
+                s.parse().map_err(|_| bad("steps"))?,
+                5,
+                2,
+            )
+            .map_err(err)
+        }
+        "fft" => {
+            workloads::fft_butterfly(rest.parse().map_err(|_| bad("log2n"))?, 3, 2).map_err(err)
+        }
+        "dnc" => workloads::divide_and_conquer(rest.parse().map_err(|_| bad("depth"))?, 1, 6, 2, 2)
+            .map_err(err),
+        "pipe" => {
+            let (s, t) = rest.split_once('x').ok_or_else(|| bad("stages x tasks"))?;
+            workloads::pipeline(
+                s.parse().map_err(|_| bad("stages"))?,
+                t.parse().map_err(|_| bad("tasks"))?,
+                4,
+                2,
+            )
+            .map_err(err)
+        }
+        other => Err(format!("unknown workload kind '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> Flags {
+        Flags::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let f = flags(&["--tasks", "96", "--dot", "--seed", "7"]);
+        assert_eq!(f.get("tasks"), Some("96"));
+        assert!(f.has("dot"));
+        assert!(!f.has("json"));
+        assert_eq!(f.num("seed", 0u64).unwrap(), 7);
+        assert_eq!(f.num("reps", 32usize).unwrap(), 32);
+        assert!(f.num::<u64>("tasks", 0).is_ok());
+        assert!(f.allow_only(&["tasks", "dot", "seed"]).is_ok());
+        assert!(f.allow_only(&["tasks"]).is_err());
+    }
+
+    #[test]
+    fn flag_errors() {
+        let bad = Flags::parse(&["oops".to_string()]);
+        assert!(bad.is_err());
+        let f = flags(&["--seed", "xyz"]);
+        assert!(f.num::<u64>("seed", 0).is_err());
+    }
+
+    #[test]
+    fn topology_specs() {
+        assert_eq!(
+            parse_topology("hypercube:3").unwrap(),
+            TopologySpec::Hypercube { dim: 3 }
+        );
+        assert_eq!(
+            parse_topology("mesh:3x4").unwrap(),
+            TopologySpec::Mesh { rows: 3, cols: 4 }
+        );
+        assert_eq!(
+            parse_topology("ring:8").unwrap(),
+            TopologySpec::Ring { n: 8 }
+        );
+        assert_eq!(
+            parse_topology("random:16@0.1").unwrap(),
+            TopologySpec::Random { n: 16, p: 0.1 }
+        );
+        assert!(parse_topology("blob:3").is_err());
+        assert!(parse_topology("mesh:3").is_err());
+        assert!(parse_topology("nocolon").is_err());
+    }
+
+    #[test]
+    fn workload_specs() {
+        assert_eq!(parse_workload("ge:6").unwrap().len(), 5 + 15);
+        assert_eq!(parse_workload("stencil:4x3").unwrap().len(), 12);
+        assert_eq!(parse_workload("fft:3").unwrap().len(), 32);
+        assert_eq!(parse_workload("pipe:2x3").unwrap().len(), 6);
+        assert!(parse_workload("ge:1").is_err());
+        assert!(parse_workload("wat:1").is_err());
+    }
+}

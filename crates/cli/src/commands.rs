@@ -1,0 +1,376 @@
+//! The `mimd` subcommands.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mimd_core::evaluate::{evaluate_assignment, random_mapping_average};
+use mimd_core::schedule::EvaluationModel;
+use mimd_core::{Assignment, Mapper};
+use mimd_graph::dot;
+use mimd_report::{Gantt, GanttTask, Table};
+use mimd_sim::{simulate, SimConfig};
+use mimd_taskgraph::clustering::comm_greedy::comm_greedy_clustering;
+use mimd_taskgraph::clustering::region::random_region_clustering;
+use mimd_taskgraph::{
+    paper, ClusteredProblemGraph, GeneratorConfig, LayeredDagGenerator, ProblemGraph,
+};
+
+use crate::args::{build_topology, parse_workload, Flags};
+
+/// Usage text printed on errors.
+pub const USAGE: &str = "\
+usage: mimd <command> [flags]
+
+commands:
+  generate   --tasks <n> [--seed <u64>] [--width <n>] [--dot] [--json]
+  topology   --spec <kind:params> [--seed <u64>] [--dot]
+  map        (--tasks <n> | --workload <kind:params> | --load <file.json>)
+             --spec <kind:params> [--seed <u64>] [--reps <n>]
+             [--greedy-clustering] [--serialized] [--gantt]
+  simulate   (--tasks <n> | --workload <kind:params>) --spec <kind:params>
+             [--seed <u64>] [--contention] [--serialize]
+  paper      (no flags) — reproduce the worked example's artifacts
+
+topology specs : hypercube:3  mesh:3x4  torus:3x4  ring:8  chain:8
+                 star:8  tree:15  complete:8  random:16@0.1
+workload specs : ge:12  stencil:16x8  fft:5  dnc:4  pipe:4x16";
+
+/// Route a command line to its handler.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err("no command given".into());
+    };
+    let flags = Flags::parse(rest)?;
+    match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "topology" => cmd_topology(&flags),
+        "map" => cmd_map(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "paper" => cmd_paper(&flags),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn problem_from_flags(flags: &Flags, rng: &mut StdRng) -> Result<ProblemGraph, String> {
+    if let Some(path) = flags.get("load") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        return serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"));
+    }
+    match flags.get("workload") {
+        Some(spec) => parse_workload(spec),
+        None => {
+            let tasks = flags.num("tasks", 96usize)?;
+            let width = flags.num("width", (tasks / 8).clamp(3, 16))?;
+            let gen = LayeredDagGenerator::new(GeneratorConfig {
+                tasks,
+                avg_width: width,
+                locality_window: Some(1),
+                ..GeneratorConfig::default()
+            })
+            .map_err(|e| e.to_string())?;
+            Ok(gen.generate(rng))
+        }
+    }
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    flags.allow_only(&["tasks", "seed", "width", "dot", "json", "workload"])?;
+    let mut rng = StdRng::seed_from_u64(flags.num("seed", 1991u64)?);
+    let p = problem_from_flags(flags, &mut rng)?;
+    if flags.has("dot") {
+        let sizes = p.sizes().to_vec();
+        print!(
+            "{}",
+            dot::digraph_to_dot(p.graph(), "problem", |v| Some(format!(
+                "{} (w={})",
+                v + 1,
+                sizes[v]
+            )))
+        );
+        return Ok(());
+    }
+    if flags.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&p).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!(
+        "problem graph: {} tasks, {} edges, sequential {}, critical path {}",
+        p.len(),
+        p.graph().edge_count(),
+        p.sequential_time(),
+        p.critical_path()
+    );
+    Ok(())
+}
+
+fn cmd_topology(flags: &Flags) -> Result<(), String> {
+    flags.allow_only(&["spec", "seed", "dot"])?;
+    let spec = flags.get("spec").ok_or("topology needs --spec")?;
+    let mut rng = StdRng::seed_from_u64(flags.num("seed", 1991u64)?);
+    let sys = build_topology(spec, &mut rng)?;
+    if flags.has("dot") {
+        print!("{}", dot::ungraph_to_dot(sys.graph(), "system"));
+        return Ok(());
+    }
+    println!(
+        "{}: {} processors, {} links, diameter {}, degrees {:?}",
+        sys.name(),
+        sys.len(),
+        sys.graph().edge_count(),
+        sys.diameter(),
+        sys.degrees()
+    );
+    Ok(())
+}
+
+fn cmd_map(flags: &Flags) -> Result<(), String> {
+    flags.allow_only(&[
+        "tasks",
+        "workload",
+        "load",
+        "spec",
+        "seed",
+        "reps",
+        "width",
+        "greedy-clustering",
+        "serialized",
+        "gantt",
+    ])?;
+    let spec = flags.get("spec").ok_or("map needs --spec")?;
+    let mut rng = StdRng::seed_from_u64(flags.num("seed", 1991u64)?);
+    let system = build_topology(spec, &mut rng)?;
+    let problem = problem_from_flags(flags, &mut rng)?;
+    if problem.len() < system.len() {
+        return Err(format!(
+            "problem has {} tasks but the machine has {} processors; need np >= ns",
+            problem.len(),
+            system.len()
+        ));
+    }
+    let clustering = if flags.has("greedy-clustering") {
+        comm_greedy_clustering(&problem, system.len(), 1.5).map_err(|e| e.to_string())?
+    } else {
+        random_region_clustering(&problem, system.len(), &mut rng).map_err(|e| e.to_string())?
+    };
+    let clustered = ClusteredProblemGraph::new(problem, clustering).map_err(|e| e.to_string())?;
+    let model = if flags.has("serialized") {
+        EvaluationModel::Serialized
+    } else {
+        EvaluationModel::Precedence
+    };
+    let mapper = Mapper::with_config(mimd_core::MapperConfig {
+        model,
+        ..mimd_core::MapperConfig::default()
+    });
+    let result = mapper
+        .map(&clustered, &system, &mut rng)
+        .map_err(|e| e.to_string())?;
+    let reps = flags.num("reps", 32usize)?;
+    let (rand_mean, rand_min, rand_max) =
+        random_mapping_average(&clustered, &system, model, reps, &mut rng)
+            .map_err(|e| e.to_string())?;
+
+    let mut table = Table::new(
+        format!("mapping onto {}", system.name()),
+        &["metric", "value"],
+    );
+    table.push_row(vec!["lower bound".into(), result.lower_bound.to_string()]);
+    table.push_row(vec![
+        "initial assignment total".into(),
+        result.initial_total.to_string(),
+    ]);
+    table.push_row(vec!["final total".into(), result.total_time.to_string()]);
+    table.push_row(vec![
+        "% over lower bound".into(),
+        format!("{:.1}", result.percent_over_lower_bound()),
+    ]);
+    table.push_row(vec![
+        "refinement iterations".into(),
+        result.refinement.iterations_used.to_string(),
+    ]);
+    table.push_row(vec![
+        "provably optimal".into(),
+        result.is_provably_optimal().to_string(),
+    ]);
+    table.push_row(vec![
+        format!("random mapping mean (x{reps})"),
+        format!("{rand_mean:.1} (min {rand_min}, max {rand_max})"),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "assignment (cluster -> processor): {:?}",
+        result.assignment.sys_of_vec()
+    );
+    if flags.has("gantt") {
+        let eval = evaluate_assignment(&clustered, &system, &result.assignment, model)
+            .map_err(|e| e.to_string())?;
+        let mut gantt = Gantt::new("schedule (paper Figs 6/24 style, horizontal)");
+        for t in 0..clustered.num_tasks() {
+            gantt.push(GanttTask {
+                label: (t + 1).to_string(),
+                processor: result.assignment.sys_of(clustered.cluster_of(t)),
+                start: eval.schedule.start(t),
+                end: eval.schedule.end(t),
+            });
+        }
+        println!("{}", gantt.render(100));
+    }
+    Ok(())
+}
+
+fn cmd_simulate(flags: &Flags) -> Result<(), String> {
+    flags.allow_only(&[
+        "tasks",
+        "workload",
+        "spec",
+        "seed",
+        "width",
+        "contention",
+        "serialize",
+    ])?;
+    let spec = flags.get("spec").ok_or("simulate needs --spec")?;
+    let mut rng = StdRng::seed_from_u64(flags.num("seed", 1991u64)?);
+    let system = build_topology(spec, &mut rng)?;
+    let problem = problem_from_flags(flags, &mut rng)?;
+    let clustering =
+        random_region_clustering(&problem, system.len(), &mut rng).map_err(|e| e.to_string())?;
+    let clustered = ClusteredProblemGraph::new(problem, clustering).map_err(|e| e.to_string())?;
+    let result = Mapper::new()
+        .map(&clustered, &system, &mut rng)
+        .map_err(|e| e.to_string())?;
+
+    let config = SimConfig {
+        serialize_processors: flags.has("serialize"),
+        link_contention: flags.has("contention"),
+    };
+    let report =
+        simulate(&clustered, &system, &result.assignment, config).map_err(|e| e.to_string())?;
+    println!(
+        "simulated {} on {}:",
+        if config == SimConfig::paper() {
+            "(paper model)"
+        } else {
+            "(extended model)"
+        },
+        system.name()
+    );
+    println!("  makespan       : {}", report.total);
+    println!("  analytic total : {} (paper model)", result.total_time);
+    println!("  messages       : {}", report.messages_sent);
+    println!("  mean hops      : {:.2}", report.mean_hops());
+    println!("  link wait total: {}", report.link_wait_total);
+    if config == SimConfig::paper() {
+        assert_eq!(report.total, result.total_time);
+        println!("  (DES reproduces the analytic model exactly)");
+    }
+    Ok(())
+}
+
+fn cmd_paper(flags: &Flags) -> Result<(), String> {
+    flags.allow_only(&[])?;
+    let g = paper::worked_example();
+    let system = mimd_topology::ring(4).map_err(|e| e.to_string())?;
+    let ideal = mimd_core::IdealSchedule::derive(&g);
+    println!("worked example (Figs 2-6, 18-24): 11 tasks, 4 clusters, ring(4)");
+    println!("  lower bound     : {}", ideal.lower_bound());
+    println!(
+        "  latest tasks    : {:?}",
+        ideal
+            .latest_tasks()
+            .iter()
+            .map(|&t| t + 1)
+            .collect::<Vec<_>>()
+    );
+    let crit =
+        mimd_core::CriticalAnalysis::analyze(&g, &ideal, mimd_core::CriticalityMode::PaperExact);
+    println!(
+        "  critical edges  : {:?}",
+        crit.critical_edges()
+            .iter()
+            .map(|&(u, v, w)| format!("({},{})={w}", u + 1, v + 1))
+            .collect::<Vec<_>>()
+    );
+    let fig23 = Assignment::from_sys_of(paper::WORKED_OPTIMAL_ASSIGNMENT.to_vec())
+        .map_err(|e| e.to_string())?;
+    let eval = evaluate_assignment(&g, &system, &fig23, EvaluationModel::Precedence)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "  Fig 23 mapping  : {:?} -> total {} (= lower bound)",
+        paper::WORKED_OPTIMAL_ASSIGNMENT,
+        eval.total()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<(), String> {
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn generate_and_topology_run() {
+        run(&["generate", "--tasks", "30", "--seed", "1"]).unwrap();
+        run(&["generate", "--tasks", "12", "--json"]).unwrap();
+        run(&["generate", "--tasks", "10", "--dot"]).unwrap();
+        run(&["topology", "--spec", "hypercube:3"]).unwrap();
+        run(&["topology", "--spec", "mesh:2x3", "--dot"]).unwrap();
+    }
+
+    #[test]
+    fn map_and_simulate_run() {
+        run(&[
+            "map", "--tasks", "40", "--spec", "ring:5", "--seed", "2", "--reps", "4",
+        ])
+        .unwrap();
+        run(&[
+            "map",
+            "--workload",
+            "ge:8",
+            "--spec",
+            "hypercube:3",
+            "--reps",
+            "4",
+        ])
+        .unwrap();
+        run(&[
+            "map",
+            "--workload",
+            "fft:3",
+            "--spec",
+            "ring:4",
+            "--reps",
+            "2",
+            "--gantt",
+        ])
+        .unwrap();
+        run(&[
+            "simulate",
+            "--tasks",
+            "40",
+            "--spec",
+            "mesh:2x3",
+            "--contention",
+        ])
+        .unwrap();
+        run(&["paper"]).unwrap();
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["bogus"]).is_err());
+        assert!(run(&["map", "--tasks", "40"]).is_err(), "missing --spec");
+        assert!(
+            run(&["map", "--tasks", "4", "--spec", "ring:8"]).is_err(),
+            "np < ns"
+        );
+        assert!(run(&["topology", "--spec", "nope:1"]).is_err());
+        assert!(run(&["generate", "--frobnicate"]).is_err());
+    }
+}

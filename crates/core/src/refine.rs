@@ -1,0 +1,305 @@
+//! Refinement with the lower-bound termination condition (§4.3.1,
+//! §4.3.3).
+//!
+//! The paper keeps the *critical abstract nodes* pinned (their critical
+//! edges already sit on single system links) and performs `ns` rounds of
+//! randomly re-placing the non-critical clusters onto the processors not
+//! occupied by pinned clusters, keeping any improvement. Crucially, the
+//! loop stops the moment an evaluation equals the ideal-graph lower
+//! bound — Theorem 3 guarantees optimality then, "reducing both search
+//! space and mapping time".
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use mimd_graph::error::GraphError;
+use mimd_graph::Time;
+use mimd_taskgraph::ClusteredProblemGraph;
+use mimd_topology::SystemGraph;
+
+use crate::assignment::Assignment;
+use crate::evaluate::evaluate_assignment;
+use crate::schedule::EvaluationModel;
+
+/// Refinement parameters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RefineConfig {
+    /// Number of random re-placements. The paper fixes this to `ns`
+    /// ("a total of ns changes are allowed"); [`RefineConfig::paper`]
+    /// does that, other budgets support the ablations.
+    pub iterations: usize,
+    /// The evaluation model (paper: precedence).
+    pub model: EvaluationModel,
+    /// When `false` (ablation A5 variant), ignore the critical pins and
+    /// re-place *every* cluster each round.
+    pub respect_pins: bool,
+}
+
+impl RefineConfig {
+    /// The paper's configuration for an `ns`-processor system.
+    pub fn paper(ns: usize) -> Self {
+        RefineConfig {
+            iterations: ns,
+            model: EvaluationModel::Precedence,
+            respect_pins: true,
+        }
+    }
+}
+
+/// What refinement did and why it stopped.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefineOutcome {
+    /// The best assignment found.
+    pub assignment: Assignment,
+    /// Its total time.
+    pub total: Time,
+    /// Total time of the starting assignment.
+    pub initial_total: Time,
+    /// Random re-placements actually evaluated (≤ configured budget).
+    pub iterations_used: usize,
+    /// Number of iterations that improved the incumbent.
+    pub improvements: usize,
+    /// `true` iff the lower-bound termination condition fired — the
+    /// result is provably optimal (Theorem 3).
+    pub reached_lower_bound: bool,
+}
+
+/// Refine `start` (with per-cluster pin flags from the initial
+/// assignment) toward `lower_bound`.
+pub fn refine(
+    graph: &ClusteredProblemGraph,
+    system: &SystemGraph,
+    start: &Assignment,
+    pinned: &[bool],
+    lower_bound: Time,
+    config: &RefineConfig,
+    rng: &mut impl Rng,
+) -> Result<RefineOutcome, GraphError> {
+    let na = graph.num_clusters();
+    if start.len() != na || pinned.len() != na {
+        return Err(GraphError::SizeMismatch {
+            left: start.len(),
+            right: na,
+        });
+    }
+    let mut best = start.clone();
+    let mut best_total = evaluate_assignment(graph, system, &best, config.model)?.total();
+    let initial_total = best_total;
+    let mut improvements = 0;
+    let mut iterations_used = 0;
+
+    if best_total == lower_bound {
+        return Ok(RefineOutcome {
+            assignment: best,
+            total: best_total,
+            initial_total,
+            iterations_used,
+            improvements,
+            reached_lower_bound: true,
+        });
+    }
+
+    // The movable clusters and the processors they may occupy.
+    let movable: Vec<usize> = (0..na)
+        .filter(|&a| !(config.respect_pins && pinned[a]))
+        .collect();
+    let free_sys: Vec<usize> = movable.iter().map(|&a| start.sys_of(a)).collect();
+    if movable.len() <= 1 {
+        // Nothing to permute: the initial assignment stands.
+        return Ok(RefineOutcome {
+            assignment: best,
+            total: best_total,
+            initial_total,
+            iterations_used,
+            improvements,
+            reached_lower_bound: false,
+        });
+    }
+
+    let mut perm: Vec<usize> = (0..movable.len()).collect();
+    let mut candidate = best.clone();
+    for _ in 0..config.iterations {
+        iterations_used += 1;
+        // Fresh random permutation of the movable clusters.
+        for i in (1..perm.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        candidate.clone_from(&best);
+        candidate.place_subset(&movable, &free_sys, &perm);
+        let total = evaluate_assignment(graph, system, &candidate, config.model)?.total();
+        if total == lower_bound {
+            return Ok(RefineOutcome {
+                assignment: candidate,
+                total,
+                initial_total,
+                iterations_used,
+                improvements: improvements + 1,
+                reached_lower_bound: true,
+            });
+        }
+        if total < best_total {
+            best.clone_from(&candidate);
+            best_total = total;
+            improvements += 1;
+        }
+    }
+
+    Ok(RefineOutcome {
+        assignment: best,
+        total: best_total,
+        initial_total,
+        iterations_used,
+        improvements,
+        reached_lower_bound: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimd_taskgraph::paper;
+    use mimd_topology::ring;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn worked() -> (ClusteredProblemGraph, SystemGraph) {
+        (paper::worked_example(), ring(4).unwrap())
+    }
+
+    #[test]
+    fn stops_immediately_at_lower_bound() {
+        let (g, sys) = worked();
+        let opt = Assignment::from_sys_of(paper::WORKED_OPTIMAL_ASSIGNMENT.to_vec()).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = refine(
+            &g,
+            &sys,
+            &opt,
+            &[false; 4],
+            paper::WORKED_LOWER_BOUND,
+            &RefineConfig::paper(4),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(out.reached_lower_bound);
+        assert_eq!(
+            out.iterations_used, 0,
+            "termination before any random change"
+        );
+        assert_eq!(out.total, 14);
+    }
+
+    #[test]
+    fn improves_or_keeps_a_bad_start() {
+        let (g, sys) = worked();
+        // Deliberately poor start: reverse placement.
+        let bad = Assignment::from_sys_of(vec![3, 2, 1, 0]).unwrap();
+        let bad_total = evaluate_assignment(&g, &sys, &bad, EvaluationModel::Precedence)
+            .unwrap()
+            .total();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = RefineConfig {
+            iterations: 50,
+            ..RefineConfig::paper(4)
+        };
+        let out = refine(&g, &sys, &bad, &[false; 4], 14, &cfg, &mut rng).unwrap();
+        assert!(out.total <= bad_total);
+        assert_eq!(out.initial_total, bad_total);
+        // With all 4 clusters movable and 50 tries over 24 permutations,
+        // the optimum (14) is found with overwhelming probability.
+        assert!(out.reached_lower_bound, "found total {}", out.total);
+    }
+
+    #[test]
+    fn pinned_clusters_never_move() {
+        let (g, sys) = worked();
+        let start = Assignment::identity(4);
+        let pinned = [true, false, true, false];
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = RefineConfig {
+            iterations: 30,
+            ..RefineConfig::paper(4)
+        };
+        let out = refine(&g, &sys, &start, &pinned, 0, &cfg, &mut rng).unwrap();
+        assert_eq!(out.assignment.sys_of(0), start.sys_of(0));
+        assert_eq!(out.assignment.sys_of(2), start.sys_of(2));
+    }
+
+    #[test]
+    fn respect_pins_false_moves_everything() {
+        let (g, sys) = worked();
+        let start = Assignment::identity(4);
+        let pinned = [true; 4];
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = RefineConfig {
+            iterations: 50,
+            respect_pins: false,
+            model: EvaluationModel::Precedence,
+        };
+        let out = refine(&g, &sys, &start, &pinned, 14, &cfg, &mut rng).unwrap();
+        assert!(
+            out.reached_lower_bound,
+            "full shuffle should find the optimum"
+        );
+    }
+
+    #[test]
+    fn all_pinned_is_a_noop() {
+        let (g, sys) = worked();
+        let start = Assignment::identity(4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = refine(
+            &g,
+            &sys,
+            &start,
+            &[true; 4],
+            0,
+            &RefineConfig::paper(4),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.iterations_used, 0);
+        assert_eq!(out.assignment, start);
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let (g, sys) = worked();
+        let start = Assignment::identity(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(refine(
+            &g,
+            &sys,
+            &start,
+            &[true; 3],
+            0,
+            &RefineConfig::paper(4),
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn never_worse_than_start() {
+        let (g, sys) = worked();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10 {
+            let start = Assignment::random(4, &mut rng);
+            let t0 = evaluate_assignment(&g, &sys, &start, EvaluationModel::Precedence)
+                .unwrap()
+                .total();
+            let out = refine(
+                &g,
+                &sys,
+                &start,
+                &[false; 4],
+                14,
+                &RefineConfig::paper(4),
+                &mut rng,
+            )
+            .unwrap();
+            assert!(out.total <= t0);
+        }
+    }
+}

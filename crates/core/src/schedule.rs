@@ -1,0 +1,234 @@
+//! Schedule derivation: start/end times of every task given a
+//! communication-cost function.
+//!
+//! This is the paper's §4.1 algorithm ("derive start and end time of each
+//! task") factored out so the *ideal graph* (communication = clustered
+//! weight) and *assignment evaluation* (communication = clustered weight
+//! × hop count, §4.3.4) share one implementation. Predecessors are taken
+//! from the **problem graph** while weights come from the **clustered**
+//! view — the subtlety the paper demonstrates with task 4 (§4.1).
+
+use serde::{Deserialize, Serialize};
+
+use mimd_graph::Time;
+use mimd_taskgraph::{ClusteredProblemGraph, TaskId};
+
+/// Which execution model the schedule uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvaluationModel {
+    /// The paper's model: a task starts as soon as every predecessor has
+    /// finished and its message has arrived. Tasks sharing a processor
+    /// may overlap; only precedence and communication constrain starts.
+    Precedence,
+    /// Extension (ablation A3): additionally, each processor executes at
+    /// most one task at a time (greedy list scheduling, earliest-startable
+    /// first, ties by task id).
+    Serialized,
+}
+
+/// Start/end times for every task plus the makespan (the paper's *total
+/// time*).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    start: Vec<Time>,
+    end: Vec<Time>,
+    total: Time,
+}
+
+impl Schedule {
+    /// Compute a precedence-model schedule. `comm(u, v)` must return the
+    /// communication delay charged on edge `u -> v` (already multiplied
+    /// by hops if applicable; 0 for intra-cluster edges).
+    pub fn precedence<F>(graph: &ClusteredProblemGraph, mut comm: F) -> Self
+    where
+        F: FnMut(TaskId, TaskId) -> Time,
+    {
+        let problem = graph.problem();
+        let n = problem.len();
+        let mut start = vec![0 as Time; n];
+        let mut end = vec![0 as Time; n];
+        for &t in problem.topo_order() {
+            let s = problem
+                .predecessors(t)
+                .iter()
+                .map(|&(u, _)| end[u] + comm(u, t))
+                .max()
+                .unwrap_or(0);
+            start[t] = s;
+            end[t] = s + problem.size(t);
+        }
+        let total = end.iter().copied().max().unwrap_or(0);
+        Schedule { start, end, total }
+    }
+
+    /// Compute a serialized schedule: one task at a time per cluster
+    /// (processor). Greedy list scheduling — among tasks whose
+    /// predecessors are all finished, repeatedly start the one with the
+    /// earliest feasible start (`max(data ready, processor free)`), ties
+    /// by task id.
+    pub fn serialized<F>(graph: &ClusteredProblemGraph, mut comm: F) -> Self
+    where
+        F: FnMut(TaskId, TaskId) -> Time,
+    {
+        let problem = graph.problem();
+        let n = problem.len();
+        let mut start = vec![0 as Time; n];
+        let mut end = vec![0 as Time; n];
+        let mut scheduled = vec![false; n];
+        let mut remaining_preds: Vec<usize> =
+            (0..n).map(|t| problem.predecessors(t).len()).collect();
+        // Cache per-edge communication so `comm` is called once per edge.
+        let mut data_ready = vec![0 as Time; n];
+        let mut proc_free = vec![0 as Time; graph.num_clusters()];
+        for _ in 0..n {
+            // Pick the ready task with the earliest feasible start.
+            let mut best: Option<(Time, TaskId)> = None;
+            for t in 0..n {
+                if scheduled[t] || remaining_preds[t] > 0 {
+                    continue;
+                }
+                let feasible = data_ready[t].max(proc_free[graph.cluster_of(t)]);
+                if best.map_or(true, |(bt, bid)| (feasible, t) < (bt, bid)) {
+                    best = Some((feasible, t));
+                }
+            }
+            let (s, t) = best.expect("DAG always has a ready task");
+            scheduled[t] = true;
+            start[t] = s;
+            end[t] = s + problem.size(t);
+            proc_free[graph.cluster_of(t)] = end[t];
+            for &(v, _) in problem.successors(t) {
+                remaining_preds[v] -= 1;
+                data_ready[v] = data_ready[v].max(end[t] + comm(t, v));
+            }
+        }
+        let total = end.iter().copied().max().unwrap_or(0);
+        Schedule { start, end, total }
+    }
+
+    /// Dispatch on [`EvaluationModel`].
+    pub fn compute<F>(graph: &ClusteredProblemGraph, model: EvaluationModel, comm: F) -> Self
+    where
+        F: FnMut(TaskId, TaskId) -> Time,
+    {
+        match model {
+            EvaluationModel::Precedence => Schedule::precedence(graph, comm),
+            EvaluationModel::Serialized => Schedule::serialized(graph, comm),
+        }
+    }
+
+    /// Start time of task `t`.
+    #[inline]
+    pub fn start(&self, t: TaskId) -> Time {
+        self.start[t]
+    }
+
+    /// End time of task `t`.
+    #[inline]
+    pub fn end(&self, t: TaskId) -> Time {
+        self.end[t]
+    }
+
+    /// All start times (the paper's `start[np]` / `i_start[np]`).
+    pub fn starts(&self) -> &[Time] {
+        &self.start
+    }
+
+    /// All end times (the paper's `end[np]` / `i_end[np]`).
+    pub fn ends(&self) -> &[Time] {
+        &self.end
+    }
+
+    /// The makespan — the paper's *total time*.
+    #[inline]
+    pub fn total(&self) -> Time {
+        self.total
+    }
+
+    /// The *latest tasks*: those ending at the total time (§2.1 term 1).
+    pub fn latest_tasks(&self) -> Vec<TaskId> {
+        (0..self.end.len())
+            .filter(|&t| self.end[t] == self.total)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimd_taskgraph::{Clustering, ProblemGraph};
+
+    /// Two independent 3-unit tasks in one cluster feeding a sink in
+    /// another; cross edge weight 2.
+    fn fixture() -> ClusteredProblemGraph {
+        let p = ProblemGraph::from_paper_edges(&[3, 3, 1], &[(1, 3, 2), (2, 3, 2)]).unwrap();
+        let c = Clustering::new(vec![0, 0, 1]).unwrap();
+        ClusteredProblemGraph::new(p, c).unwrap()
+    }
+
+    #[test]
+    fn precedence_allows_same_processor_overlap() {
+        let g = fixture();
+        let s = Schedule::precedence(&g, |u, v| g.clus_weight(u, v));
+        // Both sources start at 0 despite sharing cluster 0.
+        assert_eq!(s.start(0), 0);
+        assert_eq!(s.start(1), 0);
+        assert_eq!(s.start(2), 5);
+        assert_eq!(s.total(), 6);
+        assert_eq!(s.latest_tasks(), vec![2]);
+    }
+
+    #[test]
+    fn serialized_forbids_overlap() {
+        let g = fixture();
+        let s = Schedule::serialized(&g, |u, v| g.clus_weight(u, v));
+        // Cluster 0 runs tasks 0 then 1 back to back.
+        assert_eq!(s.start(0), 0);
+        assert_eq!(s.start(1), 3);
+        assert_eq!(s.end(1), 6);
+        // Sink waits for the later message: end(1)=6 + comm 2 = 8.
+        assert_eq!(s.start(2), 8);
+        assert_eq!(s.total(), 9);
+    }
+
+    #[test]
+    fn serialized_never_beats_precedence() {
+        let g = fixture();
+        let p = Schedule::precedence(&g, |u, v| g.clus_weight(u, v));
+        let s = Schedule::serialized(&g, |u, v| g.clus_weight(u, v));
+        assert!(s.total() >= p.total());
+        for t in 0..3 {
+            assert!(s.start(t) >= p.start(t), "task {t}");
+        }
+    }
+
+    #[test]
+    fn compute_dispatches() {
+        let g = fixture();
+        assert_eq!(
+            Schedule::compute(&g, EvaluationModel::Precedence, |u, v| g.clus_weight(u, v)),
+            Schedule::precedence(&g, |u, v| g.clus_weight(u, v))
+        );
+        assert_eq!(
+            Schedule::compute(&g, EvaluationModel::Serialized, |u, v| g.clus_weight(u, v)),
+            Schedule::serialized(&g, |u, v| g.clus_weight(u, v))
+        );
+    }
+
+    #[test]
+    fn zero_comm_reduces_to_critical_path() {
+        let g = fixture();
+        let s = Schedule::precedence(&g, |_, _| 0);
+        assert_eq!(s.total(), 4, "3-unit source + 1-unit sink");
+    }
+
+    #[test]
+    fn single_task_schedule() {
+        let p = ProblemGraph::from_paper_edges(&[7], &[]).unwrap();
+        let c = Clustering::new(vec![0]).unwrap();
+        let g = ClusteredProblemGraph::new(p, c).unwrap();
+        let s = Schedule::precedence(&g, |_, _| 0);
+        assert_eq!(s.total(), 7);
+        assert_eq!(s.latest_tasks(), vec![0]);
+    }
+}

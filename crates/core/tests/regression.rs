@@ -1,0 +1,90 @@
+//! Golden regression tests: fixed seeds must keep producing the same
+//! mapping results. If an intentional algorithm change shifts these
+//! numbers, update them consciously — the git diff of this file then
+//! documents the behavioural change.
+
+use mimd_core::critical::{CriticalAnalysis, CriticalityMode};
+use mimd_core::ideal::IdealSchedule;
+use mimd_core::{Mapper, MapperConfig};
+use mimd_taskgraph::clustering::region::random_region_clustering;
+use mimd_taskgraph::{ClusteredProblemGraph, GeneratorConfig, LayeredDagGenerator};
+use mimd_topology::{hypercube, mesh2d};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn golden_instance(seed: u64, np: usize, ns: usize) -> ClusteredProblemGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gen = LayeredDagGenerator::new(GeneratorConfig {
+        tasks: np,
+        avg_width: 8,
+        p_forward: 0.3,
+        p_skip: 0.02,
+        task_weight: (2, 12),
+        edge_weight: (1, 6),
+        connect_layers: true,
+        locality_window: Some(1),
+    })
+    .unwrap();
+    let p = gen.generate(&mut rng);
+    let c = random_region_clustering(&p, ns, &mut rng).unwrap();
+    ClusteredProblemGraph::new(p, c).unwrap()
+}
+
+#[test]
+fn golden_instance_shape_is_stable() {
+    let g = golden_instance(2024, 96, 8);
+    // These constants pin the generator + clustering byte-for-byte.
+    assert_eq!(g.num_tasks(), 96);
+    assert_eq!(g.num_clusters(), 8);
+    assert_eq!(g.problem().graph().edge_count(), 168);
+    assert_eq!(g.problem().sequential_time(), 676);
+    assert_eq!(g.cross_edges().count(), 83);
+    assert_eq!(g.total_cut_weight(), 314);
+}
+
+#[test]
+fn golden_ideal_and_critical_are_stable() {
+    let g = golden_instance(2024, 96, 8);
+    let ideal = IdealSchedule::derive(&g);
+    assert_eq!(ideal.lower_bound(), 124);
+    let crit = CriticalAnalysis::analyze(&g, &ideal, CriticalityMode::PaperExact);
+    assert_eq!(crit.critical_edges().len(), 0, "the golden instance's critical chain is intra-cluster");
+    let ext = CriticalAnalysis::analyze(&g, &ideal, CriticalityMode::Extended);
+    assert!(ext.critical_edges().len() >= crit.critical_edges().len());
+}
+
+#[test]
+fn golden_mapping_results_are_stable() {
+    let g = golden_instance(2024, 96, 8);
+    let cube = hypercube(3).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let r = Mapper::new().map(&g, &cube, &mut rng).unwrap();
+    assert_eq!(r.lower_bound, 124);
+    assert_eq!(r.total_time, 130);
+    assert!(!r.refinement.reached_lower_bound);
+
+    let mesh = mesh2d(2, 4).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let r = Mapper::new().map(&g, &mesh, &mut rng).unwrap();
+    assert_eq!(r.total_time, 141);
+}
+
+#[test]
+fn golden_results_depend_on_config_not_luck() {
+    let g = golden_instance(2024, 96, 8);
+    let cube = hypercube(3).unwrap();
+    // Zero refinement: the initial assignment alone.
+    let mapper = Mapper::with_config(MapperConfig {
+        refine_iterations: Some(0),
+        unpinned_fallback: false,
+        ..MapperConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(7);
+    let r0 = mapper.map(&g, &cube, &mut rng).unwrap();
+    assert_eq!(r0.total_time, r0.initial_total, "no refinement applied");
+
+    // Full config can only improve on it.
+    let mut rng = StdRng::seed_from_u64(7);
+    let r1 = Mapper::new().map(&g, &cube, &mut rng).unwrap();
+    assert!(r1.total_time <= r0.total_time);
+}

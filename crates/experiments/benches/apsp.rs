@@ -1,0 +1,46 @@
+//! B5: shortest-path substrate cost (the paper's `shortest[ns][ns]`
+//! precomputation) over system sizes and topology families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mimd_graph::apsp::{floyd_warshall, DistanceMatrix};
+use mimd_graph::generators::random_connected;
+use mimd_graph::Weight;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_apsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apsp");
+    for n in [8usize, 16, 40, 128] {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = random_connected(n, 0.15, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("bfs_all_pairs", n), &n, |b, _| {
+            b.iter(|| DistanceMatrix::bfs_all_pairs(&g).unwrap())
+        });
+        let m = g.to_matrix().map(|&v| Weight::from(v));
+        group.bench_with_input(BenchmarkId::new("floyd_warshall", n), &n, |b, _| {
+            b.iter(|| floyd_warshall(&m).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_topology_builders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_builders");
+    group.bench_function("hypercube_d5", |b| {
+        b.iter(|| mimd_topology::hypercube(5).unwrap())
+    });
+    group.bench_function("mesh_5x8", |b| {
+        b.iter(|| mimd_topology::mesh2d(5, 8).unwrap())
+    });
+    group.bench_function("random_40", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            mimd_topology::random_topology(40, 0.06, &mut rng).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_apsp, bench_topology_builders);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! B4: cost of the comparison mappers at a matched instance size, so the
+//! quality-per-second trade-off in ablation A1 can be interpreted.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mimd_baselines::annealing::{simulated_annealing, AnnealingSchedule};
+use mimd_baselines::bokhari::bokhari_mapping;
+use mimd_baselines::exhaustive::exhaustive_optimum;
+use mimd_baselines::lee::{lee_mapping, phases_by_level};
+use mimd_baselines::pairwise::pairwise_exchange;
+use mimd_baselines::random_map::random_baseline;
+use mimd_core::schedule::EvaluationModel;
+use mimd_core::{Assignment, Mapper};
+use mimd_experiments::harness::build_instance;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_baselines(c: &mut Criterion) {
+    let system = mimd_topology::hypercube(3).unwrap();
+    let mut rng = StdRng::seed_from_u64(9);
+    let graph = build_instance(100, system.len(), &mut rng);
+    let phases = phases_by_level(&graph);
+
+    let mut group = c.benchmark_group("mappers_np100_ns8");
+    group.bench_function("paper_strategy", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(10);
+            Mapper::new().map(&graph, &system, &mut rng).unwrap()
+        })
+    });
+    group.bench_function("random_mapping_x32", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(11);
+            random_baseline(&graph, &system, EvaluationModel::Precedence, 32, &mut rng).unwrap()
+        })
+    });
+    group.bench_function("bokhari_10_jumps", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(12);
+            bokhari_mapping(&graph, &system, 10, &mut rng).unwrap()
+        })
+    });
+    group.bench_function("lee_5_restarts", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(13);
+            lee_mapping(&graph, &system, &phases, 5, &mut rng).unwrap()
+        })
+    });
+    group.bench_function("pairwise_exchange", |b| {
+        b.iter(|| {
+            pairwise_exchange(
+                &graph,
+                &system,
+                &Assignment::identity(system.len()),
+                &[false; 8],
+                0,
+                200,
+                EvaluationModel::Precedence,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("annealing_slow", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(14);
+            simulated_annealing(
+                &graph,
+                &system,
+                None,
+                0,
+                &AnnealingSchedule::slow(8),
+                EvaluationModel::Precedence,
+                &mut rng,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+
+    // Exhaustive search on a small instance (8! evaluations).
+    let mut rng = StdRng::seed_from_u64(15);
+    let small = build_instance(40, 8, &mut rng);
+    let mut group = c.benchmark_group("exhaustive");
+    group.sample_size(10);
+    group.bench_function("exhaustive_ns8", |b| {
+        b.iter(|| exhaustive_optimum(&small, &system, EvaluationModel::Precedence).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! B1: total-time evaluation cost versus problem size.
+//!
+//! §4.3.3 claims the evaluation is `O(np²)` and the whole refinement
+//! `O(ns·np²)`; this bench measures the constant factors over the
+//! paper's np range (30–300) and one step beyond (600) on both
+//! evaluation models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mimd_core::evaluate::evaluate_assignment;
+use mimd_core::schedule::EvaluationModel;
+use mimd_core::Assignment;
+use mimd_experiments::harness::build_instance;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluate_assignment");
+    let system = mimd_topology::hypercube(3).unwrap();
+    for np in [30, 100, 300, 600] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let graph = build_instance(np, system.len(), &mut rng);
+        let assignment = Assignment::random(system.len(), &mut rng);
+        group.throughput(Throughput::Elements(np as u64));
+        group.bench_with_input(BenchmarkId::new("precedence", np), &np, |b, _| {
+            b.iter(|| {
+                evaluate_assignment(&graph, &system, &assignment, EvaluationModel::Precedence)
+                    .unwrap()
+                    .total()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("serialized", np), &np, |b, _| {
+            b.iter(|| {
+                evaluate_assignment(&graph, &system, &assignment, EvaluationModel::Serialized)
+                    .unwrap()
+                    .total()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluation);
+criterion_main!(benches);

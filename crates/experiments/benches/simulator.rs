@@ -1,0 +1,48 @@
+//! B6: discrete-event simulator throughput versus the analytic
+//! evaluator, across machine models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mimd_core::evaluate::evaluate_assignment;
+use mimd_core::schedule::EvaluationModel;
+use mimd_core::Assignment;
+use mimd_experiments::harness::build_instance;
+use mimd_sim::{simulate, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_simulator(c: &mut Criterion) {
+    let system = mimd_topology::hypercube(3).unwrap();
+    let mut group = c.benchmark_group("simulator");
+    for np in [50usize, 150, 300] {
+        let mut rng = StdRng::seed_from_u64(8);
+        let graph = build_instance(np, system.len(), &mut rng);
+        let assignment = Assignment::random(system.len(), &mut rng);
+        group.throughput(Throughput::Elements(np as u64));
+        group.bench_with_input(BenchmarkId::new("analytic", np), &np, |b, _| {
+            b.iter(|| {
+                evaluate_assignment(&graph, &system, &assignment, EvaluationModel::Precedence)
+                    .unwrap()
+                    .total()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("des_paper", np), &np, |b, _| {
+            b.iter(|| {
+                simulate(&graph, &system, &assignment, SimConfig::paper())
+                    .unwrap()
+                    .total
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("des_realistic", np), &np, |b, _| {
+            b.iter(|| {
+                simulate(&graph, &system, &assignment, SimConfig::realistic())
+                    .unwrap()
+                    .total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! B3: regeneration cost of each paper table/figure (one representative
+//! row per series, plus the §2.2 case studies end-to-end).
+//!
+//! The quality numbers themselves come from the `table1_hypercube`,
+//! `table2_mesh`, `table3_random`, `fig_bokhari_case`, `fig_lee_case`
+//! and `fig24_walkthrough` binaries; this bench tracks how expensive
+//! those reproductions are.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mimd_baselines::exhaustive::exhaustive_optimum;
+use mimd_core::schedule::EvaluationModel;
+use mimd_core::{Mapper, MapperConfig};
+use mimd_experiments::harness::{run_series, ClusteringKind, RowSpec, SeriesConfig};
+use mimd_taskgraph::paper;
+use mimd_topology::{hypercube, ring, TopologySpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn series(name: &str, row: RowSpec) -> SeriesConfig {
+    SeriesConfig {
+        name: name.into(),
+        rows: vec![row],
+        reps: 16,
+        seed: 1991,
+        mapper: MapperConfig::default(),
+        clustering: ClusteringKind::Region,
+    }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_tables_one_row");
+    group.sample_size(10);
+    group.bench_function("table1_hypercube_row", |b| {
+        let cfg = series(
+            "table1",
+            RowSpec {
+                np: 120,
+                topology: TopologySpec::Hypercube { dim: 4 },
+            },
+        );
+        b.iter(|| run_series(&cfg))
+    });
+    group.bench_function("table2_mesh_row", |b| {
+        let cfg = series(
+            "table2",
+            RowSpec {
+                np: 130,
+                topology: TopologySpec::Mesh { rows: 3, cols: 4 },
+            },
+        );
+        b.iter(|| run_series(&cfg))
+    });
+    group.bench_function("table3_random_row", |b| {
+        let cfg = series(
+            "table3",
+            RowSpec {
+                np: 150,
+                topology: TopologySpec::Random { n: 16, p: 0.06 },
+            },
+        );
+        b.iter(|| run_series(&cfg))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("paper_case_studies");
+    group.sample_size(10);
+    group.bench_function("fig24_walkthrough", |b| {
+        let graph = paper::worked_example();
+        let system = ring(4).unwrap();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(0);
+            Mapper::new().map(&graph, &system, &mut rng).unwrap()
+        })
+    });
+    group.bench_function("bokhari_case_exhaustive", |b| {
+        let ce = paper::bokhari_counterexample();
+        let graph = ce.singleton_clustered();
+        let system = hypercube(3).unwrap();
+        b.iter(|| exhaustive_optimum(&graph, &system, EvaluationModel::Precedence).unwrap())
+    });
+    group.bench_function("lee_case_exhaustive", |b| {
+        let ce = paper::lee_counterexample();
+        let graph = ce.singleton_clustered();
+        let system = hypercube(3).unwrap();
+        b.iter(|| exhaustive_optimum(&graph, &system, EvaluationModel::Precedence).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

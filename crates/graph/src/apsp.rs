@@ -1,0 +1,234 @@
+//! All-pairs shortest paths.
+//!
+//! The mapping algorithm needs the paper's `shortest[ns][ns]` matrix: the
+//! hop count of the shortest path between every pair of system nodes
+//! (§3.4(b)). System graphs are unweighted, so a BFS from each source is
+//! both simpler and asymptotically better (`O(ns·(ns+es))`) than
+//! Floyd–Warshall; we also provide Floyd–Warshall for weighted digraphs
+//! because the simulator's contention models route over weighted links.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::matrix::SquareMatrix;
+use crate::ungraph::UnGraph;
+use crate::{NodeId, Weight};
+use std::collections::VecDeque;
+
+/// Hop-count distance matrix between all node pairs of a connected graph.
+///
+/// Entry `(i, i)` is 0; all other entries are ≥ 1. Constructed via
+/// [`DistanceMatrix::bfs_all_pairs`], which fails with
+/// [`GraphError::Disconnected`] when some pair is unreachable (a mapping
+/// target must be connected for the cost model to be defined).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistanceMatrix {
+    dist: SquareMatrix<u32>,
+}
+
+impl DistanceMatrix {
+    /// Compute hop counts by running one BFS per source node.
+    pub fn bfs_all_pairs(g: &UnGraph) -> Result<Self, GraphError> {
+        let n = g.node_count();
+        let mut dist = SquareMatrix::filled(n, u32::MAX);
+        let mut queue = VecDeque::new();
+        for s in 0..n {
+            dist.set(s, s, 0);
+            queue.clear();
+            queue.push_back(s);
+            while let Some(u) = queue.pop_front() {
+                let du = dist.get(s, u);
+                for &v in g.neighbors(u) {
+                    if dist.get(s, v) == u32::MAX {
+                        dist.set(s, v, du + 1);
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if dist.row(s).iter().any(|&d| d == u32::MAX) {
+                return Err(GraphError::Disconnected);
+            }
+        }
+        Ok(DistanceMatrix { dist })
+    }
+
+    /// Hop count between `u` and `v`.
+    #[inline]
+    pub fn hops(&self, u: NodeId, v: NodeId) -> u32 {
+        self.dist.get(u, v)
+    }
+
+    /// Side length (number of nodes).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.dist.n()
+    }
+
+    /// Greatest distance between any pair — the graph's diameter.
+    pub fn diameter(&self) -> u32 {
+        (0..self.n())
+            .flat_map(|i| (0..self.n()).map(move |j| (i, j)))
+            .map(|(i, j)| self.dist.get(i, j))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Borrow the underlying matrix (the paper's `shortest[ns][ns]`).
+    pub fn as_matrix(&self) -> &SquareMatrix<u32> {
+        &self.dist
+    }
+
+    /// For node `u`, the nearest node among `candidates` (smallest hop
+    /// count, ties broken by lowest id). Returns `None` when `candidates`
+    /// is empty. Used by the initial-assignment fallback step (c).
+    pub fn nearest_of<'a, I>(&self, u: NodeId, candidates: I) -> Option<NodeId>
+    where
+        I: IntoIterator<Item = &'a NodeId>,
+    {
+        candidates
+            .into_iter()
+            .copied()
+            .min_by_key(|&c| (self.hops(u, c), c))
+    }
+}
+
+/// Floyd–Warshall over a weighted adjacency matrix where 0 encodes "no
+/// edge" (except the diagonal, which is distance 0). Returns the matrix of
+/// shortest *weighted* distances, or `Err(Disconnected)` when some pair is
+/// unreachable.
+pub fn floyd_warshall(weights: &SquareMatrix<Weight>) -> Result<SquareMatrix<Weight>, GraphError> {
+    let n = weights.n();
+    const INF: Weight = Weight::MAX / 4;
+    let mut d = SquareMatrix::filled(n, INF);
+    for i in 0..n {
+        d.set(i, i, 0);
+    }
+    for i in 0..n {
+        for j in 0..n {
+            let w = weights.get(i, j);
+            if w > 0 && w < d.get(i, j) {
+                d.set(i, j, w);
+            }
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let dik = d.get(i, k);
+            if dik == INF {
+                continue;
+            }
+            for j in 0..n {
+                let alt = dik + d.get(k, j);
+                if alt < d.get(i, j) {
+                    d.set(i, j, alt);
+                }
+            }
+        }
+    }
+    if d.as_slice().iter().any(|&v| v >= INF) {
+        return Err(GraphError::Disconnected);
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> UnGraph {
+        let mut g = UnGraph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn ring4_matches_paper_fig21b() {
+        // Fig 21-b: the 4-ring's shortest path matrix has rows
+        // (0 1 2 1), (1 0 1 2), (2 1 0 1), (1 2 1 0).
+        let d = DistanceMatrix::bfs_all_pairs(&ring(4)).unwrap();
+        let expect = [[0, 1, 2, 1], [1, 0, 1, 2], [2, 1, 0, 1], [1, 2, 1, 0]];
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(d.hops(i, j), expect[i][j], "({i},{j})");
+            }
+        }
+        assert_eq!(d.diameter(), 2);
+    }
+
+    #[test]
+    fn disconnected_is_rejected() {
+        let mut g = UnGraph::new(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(2, 3).unwrap();
+        assert_eq!(
+            DistanceMatrix::bfs_all_pairs(&g),
+            Err(GraphError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn distances_are_symmetric_metric() {
+        let d = DistanceMatrix::bfs_all_pairs(&ring(7)).unwrap();
+        for i in 0..7 {
+            assert_eq!(d.hops(i, i), 0);
+            for j in 0..7 {
+                assert_eq!(d.hops(i, j), d.hops(j, i));
+                for k in 0..7 {
+                    assert!(
+                        d.hops(i, j) <= d.hops(i, k) + d.hops(k, j),
+                        "triangle inequality"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_of_prefers_smallest_distance_then_id() {
+        let d = DistanceMatrix::bfs_all_pairs(&ring(6)).unwrap();
+        // Distances from node 0 on a 6-ring: [0,1,2,3,2,1].
+        assert_eq!(d.nearest_of(0, &[3, 2, 4]), Some(2));
+        assert_eq!(
+            d.nearest_of(0, &[1, 5]),
+            Some(1),
+            "tie at distance 1 broken by id"
+        );
+        assert_eq!(d.nearest_of(0, &[]), None);
+    }
+
+    #[test]
+    fn floyd_warshall_weighted_path() {
+        // 0 -2-> 1 -3-> 2, plus direct 0 -9-> 2: shortest 0->2 is 5.
+        let mut m = SquareMatrix::new(3);
+        m.set(0, 1, 2u64);
+        m.set(1, 2, 3u64);
+        m.set(0, 2, 9u64);
+        m.set(1, 0, 2u64);
+        m.set(2, 1, 3u64);
+        m.set(2, 0, 9u64);
+        let d = floyd_warshall(&m).unwrap();
+        assert_eq!(d.get(0, 2), 5);
+        assert_eq!(d.get(0, 0), 0);
+    }
+
+    #[test]
+    fn floyd_warshall_detects_disconnection() {
+        let m = SquareMatrix::new(2);
+        assert_eq!(floyd_warshall(&m), Err(GraphError::Disconnected));
+    }
+
+    #[test]
+    fn bfs_agrees_with_floyd_warshall_on_unweighted() {
+        let g = ring(9);
+        let bfs = DistanceMatrix::bfs_all_pairs(&g).unwrap();
+        let m = g.to_matrix().map(|&v| v as Weight);
+        let fw = floyd_warshall(&m).unwrap();
+        for i in 0..9 {
+            for j in 0..9 {
+                assert_eq!(bfs.hops(i, j) as Weight, fw.get(i, j));
+            }
+        }
+    }
+}

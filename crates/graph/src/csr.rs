@@ -1,0 +1,163 @@
+//! Compressed sparse row (CSR) adjacency — a frozen, cache-friendly view
+//! of a [`WeightedDigraph`] for hot read-only traversals.
+//!
+//! The mapping pipeline walks predecessor lists once per evaluation and
+//! the refinement evaluates hundreds of assignments; freezing the
+//! adjacency into two flat arrays (offsets + packed neighbor/weight
+//! pairs) removes a pointer dereference per node versus the
+//! `Vec<Vec<_>>` builder representation (see the Rust Performance Book
+//! on flattening nested vectors). `Csr` stores both directions so
+//! predecessor scans — the common case in schedule derivation — are as
+//! fast as successor scans.
+
+use serde::{Deserialize, Serialize};
+
+use crate::digraph::WeightedDigraph;
+use crate::{NodeId, Weight};
+
+/// Frozen CSR adjacency in both directions.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Csr {
+    n: usize,
+    out_offsets: Vec<u32>,
+    out_edges: Vec<(u32, Weight)>,
+    in_offsets: Vec<u32>,
+    in_edges: Vec<(u32, Weight)>,
+}
+
+impl Csr {
+    /// Freeze a digraph. Edge order within a row follows the source
+    /// graph's sorted neighbor lists.
+    pub fn freeze(g: &WeightedDigraph) -> Self {
+        let n = g.node_count();
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut out_edges = Vec::with_capacity(g.edge_count());
+        out_offsets.push(0);
+        for u in 0..n {
+            for &(v, w) in g.successors(u) {
+                out_edges.push((v as u32, w));
+            }
+            out_offsets.push(out_edges.len() as u32);
+        }
+        let mut in_offsets = Vec::with_capacity(n + 1);
+        let mut in_edges = Vec::with_capacity(g.edge_count());
+        in_offsets.push(0);
+        for v in 0..n {
+            for &(u, w) in g.predecessors(v) {
+                in_edges.push((u as u32, w));
+            }
+            in_offsets.push(in_edges.len() as u32);
+        }
+        Csr {
+            n,
+            out_offsets,
+            out_edges,
+            in_offsets,
+            in_edges,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_edges.len()
+    }
+
+    /// Successors of `u` as a packed slice.
+    #[inline]
+    pub fn successors(&self, u: NodeId) -> &[(u32, Weight)] {
+        &self.out_edges[self.out_offsets[u] as usize..self.out_offsets[u + 1] as usize]
+    }
+
+    /// Predecessors of `v` as a packed slice.
+    #[inline]
+    pub fn predecessors(&self, v: NodeId) -> &[(u32, Weight)] {
+        &self.in_edges[self.in_offsets[v] as usize..self.in_offsets[v + 1] as usize]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        (self.out_offsets[u + 1] - self.out_offsets[u]) as usize
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        (self.in_offsets[v + 1] - self.in_offsets[v]) as usize
+    }
+
+    /// Iterate over all edges `(u, v, w)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, Weight)> + '_ {
+        (0..self.n).flat_map(move |u| {
+            self.successors(u)
+                .iter()
+                .map(move |&(v, w)| (u, v as NodeId, w))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WeightedDigraph {
+        let mut g = WeightedDigraph::new(5);
+        g.add_edge(0, 1, 2).unwrap();
+        g.add_edge(0, 2, 3).unwrap();
+        g.add_edge(1, 3, 4).unwrap();
+        g.add_edge(2, 3, 5).unwrap();
+        g.add_edge(3, 4, 1).unwrap();
+        g
+    }
+
+    #[test]
+    fn freeze_preserves_adjacency() {
+        let g = sample();
+        let csr = Csr::freeze(&g);
+        assert_eq!(csr.node_count(), 5);
+        assert_eq!(csr.edge_count(), 5);
+        for u in 0..5 {
+            let expected: Vec<(u32, u64)> = g
+                .successors(u)
+                .iter()
+                .map(|&(v, w)| (v as u32, w))
+                .collect();
+            assert_eq!(csr.successors(u), expected.as_slice());
+            let expected: Vec<(u32, u64)> = g
+                .predecessors(u)
+                .iter()
+                .map(|&(v, w)| (v as u32, w))
+                .collect();
+            assert_eq!(csr.predecessors(u), expected.as_slice());
+            assert_eq!(csr.out_degree(u), g.out_degree(u));
+            assert_eq!(csr.in_degree(u), g.in_degree(u));
+        }
+    }
+
+    #[test]
+    fn edges_enumerate_everything() {
+        let g = sample();
+        let csr = Csr::freeze(&g);
+        let mut a: Vec<_> = csr.edges().collect();
+        let mut b: Vec<_> = g.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_isolated_nodes() {
+        let g = WeightedDigraph::new(3);
+        let csr = Csr::freeze(&g);
+        assert_eq!(csr.edge_count(), 0);
+        assert!(csr.successors(1).is_empty());
+        assert!(csr.predecessors(2).is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type shared by the graph substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or transforming graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node index was `>=` the graph's node count.
+    NodeOutOfRange {
+        /// The offending index.
+        node: usize,
+        /// The number of nodes in the graph.
+        len: usize,
+    },
+    /// A directed graph that must be acyclic contains a cycle.
+    CycleDetected,
+    /// A self-loop was supplied where self-loops are not allowed.
+    SelfLoop(usize),
+    /// An edge weight of zero was supplied where edges must carry a
+    /// positive weight (zero encodes "no edge" in the paper's matrices).
+    ZeroWeight {
+        /// Edge source.
+        from: usize,
+        /// Edge target.
+        to: usize,
+    },
+    /// An operation that requires a connected graph was given a
+    /// disconnected one.
+    Disconnected,
+    /// Two structures that must have the same node count do not.
+    SizeMismatch {
+        /// Size of the left-hand structure.
+        left: usize,
+        /// Size of the right-hand structure.
+        right: usize,
+    },
+    /// A constructor was given parameters outside its domain
+    /// (e.g. a hypercube with a non-power-of-two node count).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, len } => {
+                write!(f, "node index {node} out of range for graph of {len} nodes")
+            }
+            GraphError::CycleDetected => write!(f, "graph contains a cycle but must be acyclic"),
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n} is not allowed"),
+            GraphError::ZeroWeight { from, to } => {
+                write!(
+                    f,
+                    "edge ({from},{to}) has zero weight; zero encodes absence"
+                )
+            }
+            GraphError::Disconnected => write!(f, "graph must be connected"),
+            GraphError::SizeMismatch { left, right } => {
+                write!(f, "size mismatch: {left} vs {right}")
+            }
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange { node: 7, len: 4 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('4'));
+        assert!(GraphError::CycleDetected.to_string().contains("cycle"));
+        assert!(GraphError::SelfLoop(3).to_string().contains('3'));
+        assert!(GraphError::ZeroWeight { from: 1, to: 2 }
+            .to_string()
+            .contains("zero"));
+        assert!(GraphError::Disconnected.to_string().contains("connected"));
+        assert!(GraphError::SizeMismatch { left: 3, right: 5 }
+            .to_string()
+            .contains("mismatch"));
+        assert!(GraphError::InvalidParameter("d".into())
+            .to_string()
+            .contains('d'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&GraphError::CycleDetected);
+    }
+}

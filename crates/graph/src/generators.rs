@@ -1,0 +1,167 @@
+//! Seeded random undirected graph generators.
+//!
+//! Table 3 / Fig 27 of the paper map problem graphs onto "randomly
+//! produced system architectures". The paper does not publish its
+//! generator; we use the standard construction for *connected* random
+//! graphs: a uniform random spanning tree (random-walk / random parent
+//! attachment) plus independent extra edges with probability `p`. This
+//! guarantees connectivity (the cost model needs finite hop counts) while
+//! letting edge density vary, which is all the experiment requires.
+
+use rand::Rng;
+
+use crate::error::GraphError;
+use crate::ungraph::UnGraph;
+
+/// Generate a connected random graph on `n` nodes.
+///
+/// Construction: a random spanning tree (each node `i > 0` attaches to a
+/// uniformly random earlier node, then node labels are shuffled so the
+/// tree is not biased toward low ids), followed by adding each remaining
+/// pair as an edge independently with probability `extra_edge_prob`.
+pub fn random_connected(
+    n: usize,
+    extra_edge_prob: f64,
+    rng: &mut impl Rng,
+) -> Result<UnGraph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter(
+            "random graph needs n >= 1".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&extra_edge_prob) {
+        return Err(GraphError::InvalidParameter(format!(
+            "extra_edge_prob {extra_edge_prob} not in [0,1]"
+        )));
+    }
+    // Random permutation of labels so the spanning tree's shape is not
+    // correlated with node ids.
+    let mut labels: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        labels.swap(i, j);
+    }
+    let mut g = UnGraph::new(n);
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        g.add_edge(labels[i], labels[parent])?;
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !g.has_edge(u, v) && rng.gen_bool(extra_edge_prob) {
+                g.add_edge(u, v)?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// Generate a connected random graph whose maximum degree does not exceed
+/// `max_deg` (useful to mimic physical machines whose routers have a
+/// bounded number of ports). Falls back to the spanning tree when the
+/// bound is tight.
+pub fn random_connected_bounded_degree(
+    n: usize,
+    extra_edge_prob: f64,
+    max_deg: usize,
+    rng: &mut impl Rng,
+) -> Result<UnGraph, GraphError> {
+    if n >= 2 && max_deg < 2 {
+        return Err(GraphError::InvalidParameter(format!(
+            "max_deg {max_deg} cannot yield a connected graph on {n} >= 2 nodes"
+        )));
+    }
+    if n == 0 {
+        return Err(GraphError::InvalidParameter(
+            "random graph needs n >= 1".into(),
+        ));
+    }
+    // Spanning chain keeps every degree <= 2, then extra edges respect the cap.
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut g = UnGraph::new(n);
+    for w in order.windows(2) {
+        g.add_edge(w[0], w[1])?;
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !g.has_edge(u, v)
+                && g.degree(u) < max_deg
+                && g.degree(v) < max_deg
+                && rng.gen_bool(extra_edge_prob)
+            {
+                g.add_edge(u, v)?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::{is_connected, max_degree};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_connected_is_connected_for_many_seeds() {
+        for seed in 0..25u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = random_connected(17, 0.1, &mut rng).unwrap();
+            assert!(is_connected(&g), "seed {seed}");
+            assert!(g.edge_count() >= 16, "at least a spanning tree");
+        }
+    }
+
+    #[test]
+    fn zero_probability_yields_tree() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = random_connected(12, 0.0, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 11);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn full_probability_yields_complete() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = random_connected(6, 1.0, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 15);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = random_connected(10, 0.3, &mut StdRng::seed_from_u64(42)).unwrap();
+        let b = random_connected(10, 0.3, &mut StdRng::seed_from_u64(42)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(random_connected(0, 0.5, &mut rng).is_err());
+        assert!(random_connected(3, 1.5, &mut rng).is_err());
+        assert!(random_connected_bounded_degree(5, 0.5, 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn bounded_degree_respects_cap() {
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = random_connected_bounded_degree(20, 0.5, 4, &mut rng).unwrap();
+            assert!(is_connected(&g));
+            assert!(max_degree(&g) <= 4, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn singleton_graph_is_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = random_connected(1, 0.9, &mut rng).unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Dense square matrices — the internal representation the paper uses for
+//! every graph (`prob_edge[np][np]`, `clus_edge[np][np]`, `sys_edge[ns][ns]`,
+//! `shortest[ns][ns]`, `comm[np][np]`, `crit_edge[np][np]`, ...).
+//!
+//! The paper's graphs are small (np ≤ 300, ns ≤ 40) and its algorithms are
+//! written against dense matrices, so a row-major `Vec<T>` is both the
+//! faithful and the cache-friendly choice (see the Rust Performance Book on
+//! flat storage over `Vec<Vec<T>>`).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+/// A dense `n × n` matrix stored row-major in one contiguous allocation.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SquareMatrix<T> {
+    n: usize,
+    data: Vec<T>,
+}
+
+impl<T: Clone + Default> SquareMatrix<T> {
+    /// Create an `n × n` matrix filled with `T::default()`.
+    pub fn new(n: usize) -> Self {
+        SquareMatrix {
+            n,
+            data: vec![T::default(); n * n],
+        }
+    }
+
+    /// Create an `n × n` matrix filled with `value`.
+    pub fn filled(n: usize, value: T) -> Self {
+        SquareMatrix {
+            n,
+            data: vec![value; n * n],
+        }
+    }
+}
+
+impl<T> SquareMatrix<T> {
+    /// Build from a row-major vector; `data.len()` must be a perfect square
+    /// equal to `n * n`.
+    pub fn from_vec(n: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), n * n, "row-major data must have n*n elements");
+        SquareMatrix { n, data }
+    }
+
+    /// Side length `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        &mut self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Iterate over `(row, col, &value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &T)> {
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(k, v)| (k / self.n, k % self.n, v))
+    }
+
+    /// The underlying row-major storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Map every element through `f`, producing a new matrix.
+    pub fn map<U, F: FnMut(&T) -> U>(&self, mut f: F) -> SquareMatrix<U> {
+        SquareMatrix {
+            n: self.n,
+            data: self.data.iter().map(|v| f(v)).collect(),
+        }
+    }
+}
+
+impl<T: Copy> SquareMatrix<T> {
+    /// Copy out element `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        self.data[i * self.n + j]
+    }
+
+    /// Set element `(i, j)` to `v`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        self.data[i * self.n + j] = v;
+    }
+}
+
+impl<T: Copy + Default + PartialEq> SquareMatrix<T> {
+    /// Count elements different from `T::default()` — e.g. the number of
+    /// directed edges in a paper-style weight matrix where 0 means "absent".
+    pub fn count_nonzero(&self) -> usize {
+        let zero = T::default();
+        self.data.iter().filter(|&&v| v != zero).count()
+    }
+
+    /// Column `j` copied into a fresh vector (the paper scans columns to
+    /// find a task's predecessors).
+    pub fn column(&self, j: usize) -> Vec<T> {
+        (0..self.n).map(|i| self.get(i, j)).collect()
+    }
+
+    /// `true` iff the matrix is symmetric.
+    pub fn is_symmetric(&self) -> bool {
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if self.get(i, j) != self.get(j, i) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Transpose into a new matrix.
+    pub fn transposed(&self) -> Self
+    where
+        T: Clone,
+    {
+        let mut out = SquareMatrix::new(self.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+}
+
+impl<T> Index<(usize, usize)> for SquareMatrix<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl<T> IndexMut<(usize, usize)> for SquareMatrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for SquareMatrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SquareMatrix({}x{}) [", self.n, self.n)?;
+        for i in 0..self.n {
+            write!(f, "  ")?;
+            for j in 0..self.n {
+                write!(f, "{:?} ", self.data[i * self.n + j])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed() {
+        let m: SquareMatrix<u64> = SquareMatrix::new(3);
+        assert_eq!(m.n(), 3);
+        assert!(m.as_slice().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = SquareMatrix::new(4);
+        m.set(1, 2, 42u64);
+        assert_eq!(m.get(1, 2), 42);
+        assert_eq!(m.get(2, 1), 0);
+        m[(3, 0)] = 7;
+        assert_eq!(m[(3, 0)], 7);
+    }
+
+    #[test]
+    fn rows_and_columns() {
+        let m = SquareMatrix::from_vec(2, vec![1u64, 2, 3, 4]);
+        assert_eq!(m.row(0), &[1, 2]);
+        assert_eq!(m.row(1), &[3, 4]);
+        assert_eq!(m.column(0), vec![1, 3]);
+        assert_eq!(m.column(1), vec![2, 4]);
+    }
+
+    #[test]
+    fn count_nonzero_counts_edges() {
+        let mut m = SquareMatrix::new(3);
+        m.set(0, 1, 5u64);
+        m.set(2, 0, 1u64);
+        assert_eq!(m.count_nonzero(), 2);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let mut m = SquareMatrix::new(3);
+        m.set(0, 1, 1u64);
+        assert!(!m.is_symmetric());
+        m.set(1, 0, 1u64);
+        assert!(m.is_symmetric());
+    }
+
+    #[test]
+    fn transpose_flips_indices() {
+        let m = SquareMatrix::from_vec(2, vec![1u64, 2, 3, 4]);
+        let t = m.transposed();
+        assert_eq!(t.get(0, 1), 3);
+        assert_eq!(t.get(1, 0), 2);
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let m = SquareMatrix::from_vec(2, vec![1u64, 2, 3, 4]);
+        let doubled = m.map(|v| v * 2);
+        assert_eq!(doubled.as_slice(), &[2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn iter_yields_row_major_coordinates() {
+        let m = SquareMatrix::from_vec(2, vec![10u64, 11, 12, 13]);
+        let triples: Vec<_> = m.iter().map(|(i, j, &v)| (i, j, v)).collect();
+        assert_eq!(
+            triples,
+            vec![(0, 0, 10), (0, 1, 11), (1, 0, 12), (1, 1, 13)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "n*n")]
+    fn from_vec_rejects_bad_length() {
+        let _ = SquareMatrix::from_vec(2, vec![1u64, 2, 3]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Structural predicates on undirected graphs: connectivity, regularity,
+//! component counts. The experiment harness uses these to validate
+//! generated system topologies before mapping onto them.
+
+use crate::bitset::BitSet;
+use crate::ungraph::UnGraph;
+use crate::NodeId;
+use std::collections::VecDeque;
+
+/// `true` iff `g` is connected (the empty graph and singletons count as
+/// connected). The paper's cost model is undefined on disconnected system
+/// graphs, so generators must guarantee this.
+pub fn is_connected(g: &UnGraph) -> bool {
+    connected_components(g).len() <= 1
+}
+
+/// The connected components of `g`, each a sorted list of nodes; the
+/// component list itself is sorted by smallest member.
+pub fn connected_components(g: &UnGraph) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut seen = BitSet::new(n);
+    let mut comps = Vec::new();
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if seen.contains(s) {
+            continue;
+        }
+        let mut comp = vec![s];
+        seen.insert(s);
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if seen.insert(v) {
+                    comp.push(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps
+}
+
+/// `true` iff every node has the same degree `k`; returns that `k`.
+/// Hypercubes and rings are regular; the paper notes "every node in the
+/// system graph [Fig 8] has degree 3".
+pub fn regularity(g: &UnGraph) -> Option<usize> {
+    let n = g.node_count();
+    if n == 0 {
+        return Some(0);
+    }
+    let k = g.degree(0);
+    (1..n).all(|u| g.degree(u) == k).then_some(k)
+}
+
+/// Maximum degree over all nodes (0 for the empty graph).
+pub fn max_degree(g: &UnGraph) -> usize {
+    (0..g.node_count()).map(|u| g.degree(u)).max().unwrap_or(0)
+}
+
+/// Minimum degree over all nodes (0 for the empty graph).
+pub fn min_degree(g: &UnGraph) -> usize {
+    (0..g.node_count()).map(|u| g.degree(u)).min().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connectivity_of_path_and_split() {
+        let mut g = UnGraph::new(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(2, 3).unwrap();
+        assert!(!is_connected(&g));
+        let comps = connected_components(&g);
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3]]);
+        g.add_edge(1, 2).unwrap();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn empty_and_singleton_are_connected() {
+        assert!(is_connected(&UnGraph::new(0)));
+        assert!(is_connected(&UnGraph::new(1)));
+        let two = UnGraph::new(2);
+        assert!(!is_connected(&two), "two isolated nodes are disconnected");
+    }
+
+    #[test]
+    fn regularity_detects_rings() {
+        let mut ring = UnGraph::new(5);
+        for i in 0..5 {
+            ring.add_edge(i, (i + 1) % 5).unwrap();
+        }
+        assert_eq!(regularity(&ring), Some(2));
+        let mut path = UnGraph::new(3);
+        path.add_edge(0, 1).unwrap();
+        path.add_edge(1, 2).unwrap();
+        assert_eq!(regularity(&path), None);
+    }
+
+    #[test]
+    fn degree_extremes() {
+        let mut g = UnGraph::new(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(0, 2).unwrap();
+        g.add_edge(0, 3).unwrap();
+        assert_eq!(max_degree(&g), 3);
+        assert_eq!(min_degree(&g), 1);
+        assert_eq!(max_degree(&UnGraph::new(0)), 0);
+    }
+}

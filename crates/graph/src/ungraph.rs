@@ -1,0 +1,239 @@
+//! Undirected, unweighted graphs — the paper's *system graphs*.
+//!
+//! A system graph describes "the topology interconnecting homogeneous
+//! processing elements of a parallel computer system" (§2.1). Edges carry
+//! no weight: a message crossing a system edge costs one hop, and a
+//! clustered problem edge mapped across `k` hops costs `weight × k`
+//! (§4.3.4). The paper represents the topology as a 0/1 matrix
+//! `sys_edge[ns][ns]`; [`UnGraph::to_matrix`] reproduces it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::matrix::SquareMatrix;
+use crate::NodeId;
+
+/// An undirected, unweighted simple graph.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnGraph {
+    n: usize,
+    /// `adj[u]` = sorted neighbor list of `u`.
+    adj: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl UnGraph {
+    /// Create a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        UnGraph {
+            n,
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Add the undirected edge `{u, v}`. Idempotent; errors on self-loops
+    /// and out-of-range endpoints.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u >= self.n {
+            return Err(GraphError::NodeOutOfRange {
+                node: u,
+                len: self.n,
+            });
+        }
+        if v >= self.n {
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                len: self.n,
+            });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        if let Err(pos) = self.adj[u].binary_search(&v) {
+            self.adj[u].insert(pos, v);
+            let pos2 = self.adj[v].binary_search(&u).unwrap_err();
+            self.adj[v].insert(pos2, u);
+            self.edge_count += 1;
+        }
+        Ok(())
+    }
+
+    /// Remove the edge `{u, v}` if present; returns whether it existed.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if let Ok(pos) = self.adj[u].binary_search(&v) {
+            self.adj[u].remove(pos);
+            let pos2 = self.adj[v].binary_search(&u).unwrap();
+            self.adj[v].remove(pos2);
+            self.edge_count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `true` iff `{u, v}` is an edge.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u].binary_search(&v).is_ok()
+    }
+
+    /// Sorted neighbors of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.adj[u]
+    }
+
+    /// Degree of `u` — the paper's `deg[ns]` matrix entry.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u].len()
+    }
+
+    /// The paper's node-degree matrix `deg[ns]`.
+    pub fn degree_vector(&self) -> Vec<usize> {
+        (0..self.n).map(|u| self.degree(u)).collect()
+    }
+
+    /// Iterate over edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+    }
+
+    /// Build from a symmetric 0/1 matrix (`sys_edge[ns][ns]`): any nonzero
+    /// entry denotes an edge.
+    pub fn from_matrix(m: &SquareMatrix<u8>) -> Result<Self, GraphError> {
+        let mut g = UnGraph::new(m.n());
+        for i in 0..m.n() {
+            for j in (i + 1)..m.n() {
+                if m.get(i, j) != 0 || m.get(j, i) != 0 {
+                    g.add_edge(i, j)?;
+                }
+            }
+        }
+        Ok(g)
+    }
+
+    /// Convert to the paper's 0/1 adjacency matrix.
+    pub fn to_matrix(&self) -> SquareMatrix<u8> {
+        let mut m = SquareMatrix::new(self.n);
+        for (u, v) in self.edges() {
+            m.set(u, v, 1);
+            m.set(v, u, 1);
+        }
+        m
+    }
+
+    /// The *closure* of this graph: the complete graph on the same nodes
+    /// (§2.1, Fig 5-b). Mapping the clustered problem graph onto the
+    /// closure yields the ideal graph and the lower bound.
+    pub fn closure(&self) -> UnGraph {
+        let mut g = UnGraph::new(self.n);
+        for u in 0..self.n {
+            for v in (u + 1)..self.n {
+                g.add_edge(u, v).expect("complete graph edges are valid");
+            }
+        }
+        g
+    }
+
+    /// `true` iff every pair of distinct nodes is adjacent.
+    pub fn is_complete(&self) -> bool {
+        self.n <= 1 || self.edge_count == self.n * (self.n - 1) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> UnGraph {
+        let mut g = UnGraph::new(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g.add_edge(2, 3).unwrap();
+        g
+    }
+
+    #[test]
+    fn add_edges_symmetric() {
+        let g = path4();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut g = path4();
+        g.add_edge(1, 0).unwrap();
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn remove_edge_both_sides() {
+        let mut g = path4();
+        assert!(g.remove_edge(2, 1));
+        assert!(!g.remove_edge(1, 2));
+        assert!(!g.has_edge(1, 2));
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn degree_vector_matches() {
+        let g = path4();
+        assert_eq!(g.degree_vector(), vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn rejects_self_loop_and_oob() {
+        let mut g = UnGraph::new(2);
+        assert_eq!(g.add_edge(0, 0), Err(GraphError::SelfLoop(0)));
+        assert_eq!(
+            g.add_edge(0, 2),
+            Err(GraphError::NodeOutOfRange { node: 2, len: 2 })
+        );
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        let g = path4();
+        let m = g.to_matrix();
+        assert!(m.is_symmetric());
+        assert_eq!(m.get(0, 1), 1);
+        assert_eq!(m.get(0, 2), 0);
+        assert_eq!(UnGraph::from_matrix(&m).unwrap(), g);
+    }
+
+    #[test]
+    fn closure_is_complete() {
+        let g = path4();
+        let c = g.closure();
+        assert!(c.is_complete());
+        assert_eq!(c.edge_count(), 6);
+        assert!(!g.is_complete());
+    }
+
+    #[test]
+    fn edges_listed_once() {
+        let g = path4();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+}

@@ -1,0 +1,232 @@
+//! ASCII Gantt charts — the paper's schedule time-lines (Figs 6, 10,
+//! 12, 16, 24) rendered horizontally: one row per processor, one column
+//! band per time unit, tasks as labelled bars.
+
+use serde::{Deserialize, Serialize};
+
+/// One scheduled task bar.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GanttTask {
+    /// Display label (e.g. the paper's 1-based task id).
+    pub label: String,
+    /// Row (processor id).
+    pub processor: usize,
+    /// Start time (inclusive).
+    pub start: u64,
+    /// End time (exclusive).
+    pub end: u64,
+}
+
+/// A renderable schedule.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gantt {
+    title: String,
+    tasks: Vec<GanttTask>,
+}
+
+impl Gantt {
+    /// New empty chart.
+    pub fn new(title: impl Into<String>) -> Self {
+        Gantt {
+            title: title.into(),
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Add one task bar. Zero-length tasks are rejected.
+    pub fn push(&mut self, task: GanttTask) {
+        assert!(
+            task.end > task.start,
+            "task '{}' has no duration",
+            task.label
+        );
+        self.tasks.push(task);
+    }
+
+    /// Number of bars.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` iff the chart has no bars.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The makespan (max end time).
+    pub fn total(&self) -> u64 {
+        self.tasks.iter().map(|t| t.end).max().unwrap_or(0)
+    }
+
+    /// Render with at most `max_width` character columns for the time
+    /// axis (time is scaled down as needed). Overlapping tasks on one
+    /// processor (the paper's precedence model allows them) stack onto
+    /// extra sub-rows.
+    pub fn render(&self, max_width: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        if self.tasks.is_empty() {
+            out.push_str("(empty schedule)\n");
+            return out;
+        }
+        let total = self.total();
+        let width = max_width.clamp(10, 240) as u64;
+        // Scale: time units per character column (ceil).
+        let scale = total.div_ceil(width).max(1);
+        let cols = total.div_ceil(scale) as usize;
+        let nproc = self.tasks.iter().map(|t| t.processor).max().unwrap_or(0) + 1;
+
+        for p in 0..nproc {
+            // Collect this processor's bars, stack into sub-rows.
+            let mut bars: Vec<&GanttTask> =
+                self.tasks.iter().filter(|t| t.processor == p).collect();
+            bars.sort_by_key(|t| (t.start, t.end));
+            let mut subrows: Vec<Vec<&GanttTask>> = Vec::new();
+            'bar: for bar in bars {
+                for row in subrows.iter_mut() {
+                    if row.last().map_or(true, |prev| prev.end <= bar.start) {
+                        row.push(bar);
+                        continue 'bar;
+                    }
+                }
+                subrows.push(vec![bar]);
+            }
+            if subrows.is_empty() {
+                subrows.push(Vec::new());
+            }
+            for (si, row) in subrows.iter().enumerate() {
+                let head = if si == 0 {
+                    format!("P{p:<3}|")
+                } else {
+                    "    |".to_string()
+                };
+                let mut line = vec![b' '; cols];
+                for bar in row {
+                    let s = (bar.start / scale) as usize;
+                    let e = ((bar.end.div_ceil(scale)) as usize).min(cols).max(s + 1);
+                    for slot in line.iter_mut().take(e).skip(s) {
+                        *slot = b'#';
+                    }
+                    // Overlay the label at the bar's start.
+                    for (k, ch) in bar.label.bytes().enumerate() {
+                        if s + k < e && s + k < cols {
+                            line[s + k] = ch;
+                        }
+                    }
+                }
+                out.push_str(&head);
+                out.push_str(std::str::from_utf8(&line).expect("ascii"));
+                out.push('\n');
+            }
+        }
+        // Time axis.
+        out.push_str("    +");
+        out.push_str(&"-".repeat(cols));
+        out.push('\n');
+        out.push_str(&format!(
+            "     0{:>width$}\n",
+            total,
+            width = cols.saturating_sub(1)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> Gantt {
+        let mut g = Gantt::new("demo");
+        g.push(GanttTask {
+            label: "1".into(),
+            processor: 0,
+            start: 0,
+            end: 3,
+        });
+        g.push(GanttTask {
+            label: "2".into(),
+            processor: 0,
+            start: 3,
+            end: 5,
+        });
+        g.push(GanttTask {
+            label: "3".into(),
+            processor: 1,
+            start: 2,
+            end: 6,
+        });
+        g
+    }
+
+    #[test]
+    fn renders_rows_and_axis() {
+        let g = chart();
+        let r = g.render(80);
+        assert!(r.starts_with("demo\n"));
+        assert!(r.contains("P0  |"));
+        assert!(r.contains("P1  |"));
+        assert!(r.contains('#'));
+        assert!(r.trim_end().ends_with('6'), "total on the axis: {r}");
+        assert_eq!(g.total(), 6);
+    }
+
+    #[test]
+    fn overlapping_tasks_stack() {
+        let mut g = Gantt::new("overlap");
+        g.push(GanttTask {
+            label: "a".into(),
+            processor: 0,
+            start: 0,
+            end: 4,
+        });
+        g.push(GanttTask {
+            label: "b".into(),
+            processor: 0,
+            start: 2,
+            end: 6,
+        });
+        let r = g.render(40);
+        // Two sub-rows for processor 0: one labelled, one continuation.
+        assert_eq!(
+            r.lines()
+                .filter(|l| l.starts_with("P0  |") || l.starts_with("    |"))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn scales_long_schedules() {
+        let mut g = Gantt::new("long");
+        g.push(GanttTask {
+            label: "x".into(),
+            processor: 0,
+            start: 0,
+            end: 1000,
+        });
+        let r = g.render(50);
+        let body = r.lines().nth(1).unwrap();
+        assert!(body.len() <= 60, "scaled to width: {}", body.len());
+    }
+
+    #[test]
+    fn empty_chart() {
+        let g = Gantt::new("none");
+        assert!(g.is_empty());
+        assert!(g.render(40).contains("(empty schedule)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no duration")]
+    fn zero_length_rejected() {
+        let mut g = Gantt::new("bad");
+        g.push(GanttTask {
+            label: "z".into(),
+            processor: 0,
+            start: 2,
+            end: 2,
+        });
+    }
+}

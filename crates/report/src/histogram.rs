@@ -1,0 +1,150 @@
+//! The dashed-line histograms of Figs 25–27.
+//!
+//! Each experiment is one column; a vertical dashed line runs from the
+//! strategy's percentage (lower end) up to the random mapping's
+//! percentage (upper end), exactly how the paper visualizes "percentage
+//! over lower bound".
+
+use serde::{Deserialize, Serialize};
+
+/// A two-ended column chart rendered in ASCII.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    title: String,
+    /// `(low, high)` per experiment, in percent over the lower bound.
+    columns: Vec<(f64, f64)>,
+}
+
+impl Histogram {
+    /// New histogram with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Histogram {
+            title: title.into(),
+            columns: Vec::new(),
+        }
+    }
+
+    /// Append an experiment column (`low` = strategy %, `high` = random
+    /// %). Values are clamped into `[low, high]` order automatically.
+    pub fn push(&mut self, low: f64, high: f64) {
+        let (lo, hi) = if low <= high {
+            (low, high)
+        } else {
+            (high, low)
+        };
+        self.columns.push((lo, hi));
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// `true` iff there are no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Render with `rows` text rows between the global minimum and
+    /// maximum (inclusive); the y-axis is labelled in percent.
+    pub fn render(&self, rows: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        if self.columns.is_empty() || rows < 2 {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let min = self
+            .columns
+            .iter()
+            .map(|&(l, _)| l)
+            .fold(f64::INFINITY, f64::min);
+        let max = self
+            .columns
+            .iter()
+            .map(|&(_, h)| h)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let span = (max - min).max(1e-9);
+        // Row r (0 = top) covers value band [band_lo, band_hi].
+        for r in 0..rows {
+            let hi = max - span * r as f64 / rows as f64;
+            let lo = max - span * (r + 1) as f64 / rows as f64;
+            let label = if r == 0 {
+                format!("{max:7.1} |")
+            } else if r == rows - 1 {
+                format!("{min:7.1} |")
+            } else {
+                format!("{:7} |", "")
+            };
+            out.push_str(&label);
+            for &(cl, ch) in &self.columns {
+                // A column paints this row if its [cl, ch] band overlaps.
+                let ch_in = ch >= lo && (ch <= hi || r == 0);
+                let cl_in = cl >= lo && cl <= hi;
+                let through = cl < lo && ch > hi;
+                let c = if cl_in && ch_in {
+                    '*'
+                } else if ch_in {
+                    'r' // random-mapping end
+                } else if cl_in {
+                    'o' // our-strategy end
+                } else if through {
+                    '|'
+                } else {
+                    ' '
+                };
+                out.push(' ');
+                out.push(c);
+                out.push(' ');
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:7} +", ""));
+        out.push_str(&"-".repeat(3 * self.columns.len()));
+        out.push('\n');
+        out.push_str(&format!("{:9}", ""));
+        for i in 1..=self.columns.len() {
+            out.push_str(&format!("{i:^3}"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_expected_shape() {
+        let mut h = Histogram::new("Fig 25: hypercubes");
+        h.push(104.0, 148.0);
+        h.push(115.0, 178.0);
+        h.push(100.0, 158.0);
+        let r = h.render(10);
+        assert!(r.starts_with("Fig 25: hypercubes"));
+        assert!(r.contains('o'), "strategy ends marked");
+        assert!(r.contains('r'), "random ends marked");
+        assert!(r.contains("178.0"), "max label present");
+        assert!(r.contains("100.0"), "min label present");
+        // Column indices on the last line.
+        assert!(r.trim_end().ends_with('3'));
+    }
+
+    #[test]
+    fn swapped_ends_are_normalized() {
+        let mut h = Histogram::new("t");
+        h.push(150.0, 100.0);
+        assert_eq!(h.len(), 1);
+        let r = h.render(5);
+        assert!(r.contains("150.0"));
+    }
+
+    #[test]
+    fn empty_histogram_renders_gracefully() {
+        let h = Histogram::new("empty");
+        assert!(h.is_empty());
+        assert!(h.render(10).contains("(no data)"));
+    }
+}

@@ -1,0 +1,23 @@
+//! Reporting: the paper's tables and figures as terminal output.
+//!
+//! Tables 1–3 list, per experiment, the percentage of the total time
+//! over the lower bound for the strategy and for averaged random
+//! mappings, plus the improvement; Figs 25–27 plot the same data as
+//! dashed-line histograms. [`table`] and [`histogram`] regenerate both
+//! forms; [`stats`] provides the aggregates; [`records`] serializes raw
+//! experiment rows to JSON for machine-readable archival.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gantt;
+pub mod histogram;
+pub mod records;
+pub mod stats;
+pub mod table;
+
+pub use gantt::{Gantt, GanttTask};
+pub use histogram::Histogram;
+pub use records::ExperimentRecord;
+pub use stats::Summary;
+pub use table::Table;

@@ -1,0 +1,84 @@
+//! Per-run simulation statistics.
+
+use serde::{Deserialize, Serialize};
+
+use mimd_graph::Time;
+use mimd_taskgraph::TaskId;
+
+use crate::engine::SimConfig;
+
+/// What one simulation run observed.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Observed start time per task.
+    pub start: Vec<Time>,
+    /// Observed end time per task.
+    pub end: Vec<Time>,
+    /// Makespan (the paper's total time).
+    pub total: Time,
+    /// Cross-processor messages injected.
+    pub messages_sent: usize,
+    /// Total store-and-forward hops traversed.
+    pub hops_total: u64,
+    /// Total time messages spent queued for busy channels
+    /// (0 without [`SimConfig::link_contention`]).
+    pub link_wait_total: Time,
+    /// The configuration that produced this report.
+    pub config: SimConfig,
+}
+
+impl SimReport {
+    /// Mean hops per message (0.0 when no messages were sent).
+    pub fn mean_hops(&self) -> f64 {
+        if self.messages_sent == 0 {
+            0.0
+        } else {
+            self.hops_total as f64 / self.messages_sent as f64
+        }
+    }
+
+    /// Start time of task `t`.
+    pub fn start_of(&self, t: TaskId) -> Time {
+        self.start[t]
+    }
+
+    /// End time of task `t`.
+    pub fn end_of(&self, t: TaskId) -> Time {
+        self.end[t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_hops_handles_zero_messages() {
+        let r = SimReport {
+            start: vec![0],
+            end: vec![1],
+            total: 1,
+            messages_sent: 0,
+            hops_total: 0,
+            link_wait_total: 0,
+            config: SimConfig::paper(),
+        };
+        assert_eq!(r.mean_hops(), 0.0);
+        assert_eq!(r.start_of(0), 0);
+        assert_eq!(r.end_of(0), 1);
+    }
+
+    #[test]
+    fn mean_hops_divides() {
+        let r = SimReport {
+            start: vec![],
+            end: vec![],
+            total: 0,
+            messages_sent: 4,
+            hops_total: 10,
+            link_wait_total: 3,
+            config: SimConfig::realistic(),
+        };
+        assert_eq!(r.mean_hops(), 2.5);
+    }
+}

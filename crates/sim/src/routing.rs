@@ -1,0 +1,109 @@
+//! Deterministic shortest-path routing tables.
+//!
+//! Store-and-forward machines of the paper's era (hypercubes, meshes)
+//! used fixed shortest-path routing; we precompute, for every
+//! `(current, destination)` pair, the next hop — the lowest-numbered
+//! neighbor that strictly decreases the remaining distance, giving
+//! deterministic, loop-free routes (e-cube-like on hypercubes).
+
+use serde::{Deserialize, Serialize};
+
+use mimd_graph::matrix::SquareMatrix;
+use mimd_graph::NodeId;
+use mimd_topology::SystemGraph;
+
+/// Next-hop table: `next(cur, dst)` is the neighbor to forward to.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingTable {
+    /// `next[(cur, dst)]` = next hop; `cur` itself when `cur == dst`.
+    next: SquareMatrix<u32>,
+}
+
+impl RoutingTable {
+    /// Build from a system graph's BFS distances.
+    pub fn new(system: &SystemGraph) -> Self {
+        let n = system.len();
+        let mut next = SquareMatrix::new(n);
+        for cur in 0..n {
+            for dst in 0..n {
+                if cur == dst {
+                    next.set(cur, dst, cur as u32);
+                    continue;
+                }
+                let hop = system
+                    .graph()
+                    .neighbors(cur)
+                    .iter()
+                    .copied()
+                    .filter(|&nb| system.hops(nb, dst) + 1 == system.hops(cur, dst))
+                    .min()
+                    .expect("connected graph always has a distance-decreasing neighbor");
+                next.set(cur, dst, hop as u32);
+            }
+        }
+        RoutingTable { next }
+    }
+
+    /// The next hop from `cur` toward `dst` (`cur` when already there).
+    #[inline]
+    pub fn next_hop(&self, cur: NodeId, dst: NodeId) -> NodeId {
+        self.next.get(cur, dst) as NodeId
+    }
+
+    /// The full route from `src` to `dst` as the sequence of nodes
+    /// visited after `src` (empty when `src == dst`).
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let mut route = Vec::new();
+        let mut cur = src;
+        while cur != dst {
+            cur = self.next_hop(cur, dst);
+            route.push(cur);
+        }
+        route
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimd_topology::{hypercube, ring};
+
+    #[test]
+    fn routes_have_shortest_length() {
+        let sys = hypercube(3).unwrap();
+        let table = RoutingTable::new(&sys);
+        for s in 0..8 {
+            for d in 0..8 {
+                let route = table.route(s, d);
+                assert_eq!(route.len() as u32, sys.hops(s, d), "{s}->{d}");
+                // Route ends at the destination and uses real links.
+                let mut prev = s;
+                for &n in &route {
+                    assert!(sys.adjacent(prev, n), "{prev}-{n} not a link");
+                    prev = n;
+                }
+                if s != d {
+                    assert_eq!(*route.last().unwrap(), d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_lowest_neighbor() {
+        // Ring 0-1-2-3: from 0 to 2 both ways are length 2; the
+        // lowest-id improving neighbor (1) must be chosen.
+        let sys = ring(4).unwrap();
+        let table = RoutingTable::new(&sys);
+        assert_eq!(table.next_hop(0, 2), 1);
+        assert_eq!(table.route(0, 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let sys = ring(4).unwrap();
+        let table = RoutingTable::new(&sys);
+        assert!(table.route(2, 2).is_empty());
+        assert_eq!(table.next_hop(2, 2), 2);
+    }
+}

@@ -1,0 +1,160 @@
+//! The *abstract graph* (Fig 4): one node per cluster, multi-edges
+//! between cluster pairs collapsed into one.
+//!
+//! "The main purpose of the abstract graph is to be able to talk about
+//! all edges between two clusters as one" (§2.1). The mapper's step 3
+//! ranks abstract nodes by the `mca` communication intensity and walks
+//! abstract adjacency; both are precomputed here.
+
+use serde::{Deserialize, Serialize};
+
+use mimd_graph::matrix::SquareMatrix;
+use mimd_graph::ungraph::UnGraph;
+use mimd_graph::Weight;
+
+use crate::clustered::ClusteredProblemGraph;
+use crate::ClusterId;
+
+/// The collapsed cluster-level view of a clustered problem graph.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AbstractGraph {
+    /// Undirected cluster adjacency (the paper's 0/1 `abs_edge[na][na]`).
+    adjacency: UnGraph,
+    /// Combined weight between each cluster pair (sum over both edge
+    /// directions of the clustered weights).
+    pair_weight: SquareMatrix<Weight>,
+    /// Per-cluster total incident cross weight (the paper's `mca[na]`).
+    mca: Vec<Weight>,
+}
+
+impl AbstractGraph {
+    /// Collapse a clustered problem graph.
+    pub fn new(clustered: &ClusteredProblemGraph) -> Self {
+        let na = clustered.num_clusters();
+        let mut adjacency = UnGraph::new(na);
+        let mut pair_weight = SquareMatrix::new(na);
+        for (u, v, w) in clustered.cross_edges() {
+            let (a, b) = (clustered.cluster_of(u), clustered.cluster_of(v));
+            adjacency
+                .add_edge(a, b)
+                .expect("cross edge joins distinct clusters");
+            let cur = pair_weight.get(a, b);
+            pair_weight.set(a, b, cur + w);
+            let cur = pair_weight.get(b, a);
+            pair_weight.set(b, a, cur + w);
+        }
+        let mca = clustered.communication_intensity();
+        AbstractGraph {
+            adjacency,
+            pair_weight,
+            mca,
+        }
+    }
+
+    /// Number of abstract nodes `na`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.mca.len()
+    }
+
+    /// `true` iff there are no clusters (impossible via constructor).
+    pub fn is_empty(&self) -> bool {
+        self.mca.is_empty()
+    }
+
+    /// `true` iff clusters `a` and `b` exchange any communication.
+    #[inline]
+    pub fn adjacent(&self, a: ClusterId, b: ClusterId) -> bool {
+        self.adjacency.has_edge(a, b)
+    }
+
+    /// Abstract neighbors of cluster `a`.
+    #[inline]
+    pub fn neighbors(&self, a: ClusterId) -> &[ClusterId] {
+        self.adjacency.neighbors(a)
+    }
+
+    /// Combined communication weight between clusters `a` and `b`
+    /// (both directions summed); 0 when not adjacent.
+    #[inline]
+    pub fn pair_weight(&self, a: ClusterId, b: ClusterId) -> Weight {
+        self.pair_weight.get(a, b)
+    }
+
+    /// The paper's `mca[a]`: total cross weight incident to cluster `a`.
+    #[inline]
+    pub fn mca(&self, a: ClusterId) -> Weight {
+        self.mca[a]
+    }
+
+    /// All communication intensities (the `mca[na]` vector, Fig 20-c).
+    pub fn mca_vector(&self) -> &[Weight] {
+        &self.mca
+    }
+
+    /// The undirected adjacency structure.
+    pub fn adjacency(&self) -> &UnGraph {
+        &self.adjacency
+    }
+
+    /// Clusters sorted by descending `mca`, ties by ascending id — the
+    /// consumption order of initial-assignment step 3.
+    pub fn by_descending_mca(&self) -> Vec<ClusterId> {
+        let mut ids: Vec<ClusterId> = (0..self.len()).collect();
+        ids.sort_by_key(|&a| (std::cmp::Reverse(self.mca[a]), a));
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::Clustering;
+    use crate::problem::ProblemGraph;
+
+    /// Tasks 1..6 in clusters {1,2}, {3,4}, {5,6}; edges:
+    /// 1->3 (w2), 2->4 (w3), 3->5 (w4), 2->1 would be cyclic; 4->6 (w1),
+    /// 1->2 intra (w9).
+    fn fixture() -> AbstractGraph {
+        let p = ProblemGraph::from_paper_edges(
+            &[1, 1, 1, 1, 1, 1],
+            &[(1, 3, 2), (2, 4, 3), (3, 5, 4), (4, 6, 1), (1, 2, 9)],
+        )
+        .unwrap();
+        let c = Clustering::new(vec![0, 0, 1, 1, 2, 2]).unwrap();
+        AbstractGraph::new(&ClusteredProblemGraph::new(p, c).unwrap())
+    }
+
+    #[test]
+    fn collapses_pairs() {
+        let a = fixture();
+        assert_eq!(a.len(), 3);
+        assert!(a.adjacent(0, 1));
+        assert!(a.adjacent(1, 2));
+        assert!(!a.adjacent(0, 2));
+        assert_eq!(a.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn pair_weights_sum_multi_edges() {
+        let a = fixture();
+        // Cluster 0 -> 1 via (1,3,2) and (2,4,3): combined 5, symmetric.
+        assert_eq!(a.pair_weight(0, 1), 5);
+        assert_eq!(a.pair_weight(1, 0), 5);
+        assert_eq!(a.pair_weight(1, 2), 5);
+        assert_eq!(a.pair_weight(0, 2), 0);
+    }
+
+    #[test]
+    fn intra_edges_do_not_count() {
+        let a = fixture();
+        // Edge (1,2,9) is inside cluster 0: absent from mca.
+        assert_eq!(a.mca_vector(), &[5, 10, 5]);
+    }
+
+    #[test]
+    fn mca_ordering() {
+        let a = fixture();
+        assert_eq!(a.by_descending_mca(), vec![1, 0, 2]);
+    }
+}

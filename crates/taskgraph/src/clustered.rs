@@ -1,0 +1,184 @@
+//! The *clustered problem graph* (Fig 3): the problem graph with
+//! intra-cluster edge weights removed.
+//!
+//! The paper's subtlety (§4.1): a task's *predecessors* must still be
+//! looked up in the original problem graph — the clustered matrix has
+//! lost intra-cluster edges — while *communication weights* come from the
+//! clustered matrix (zero within a cluster). [`ClusteredProblemGraph`]
+//! bundles both views so schedule derivations cannot get this wrong.
+
+use serde::{Deserialize, Serialize};
+
+use mimd_graph::error::GraphError;
+use mimd_graph::matrix::SquareMatrix;
+use mimd_graph::Weight;
+
+use crate::clustering::Clustering;
+use crate::problem::ProblemGraph;
+use crate::{ClusterId, TaskId};
+
+/// A problem graph together with a clustering; the pair the mapping
+/// algorithms consume.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusteredProblemGraph {
+    problem: ProblemGraph,
+    clustering: Clustering,
+}
+
+impl ClusteredProblemGraph {
+    /// Pair a problem graph with a clustering of the same task count.
+    pub fn new(problem: ProblemGraph, clustering: Clustering) -> Result<Self, GraphError> {
+        if problem.len() != clustering.num_tasks() {
+            return Err(GraphError::SizeMismatch {
+                left: problem.len(),
+                right: clustering.num_tasks(),
+            });
+        }
+        Ok(ClusteredProblemGraph {
+            problem,
+            clustering,
+        })
+    }
+
+    /// The underlying problem graph (for predecessor lookups).
+    #[inline]
+    pub fn problem(&self) -> &ProblemGraph {
+        &self.problem
+    }
+
+    /// The clustering.
+    #[inline]
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// Number of tasks `np`.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.problem.len()
+    }
+
+    /// Number of clusters `na`.
+    #[inline]
+    pub fn num_clusters(&self) -> usize {
+        self.clustering.num_clusters()
+    }
+
+    /// Cluster owning task `t`.
+    #[inline]
+    pub fn cluster_of(&self, t: TaskId) -> ClusterId {
+        self.clustering.cluster_of(t)
+    }
+
+    /// The clustered communication weight `clus_edge[u][v]`: the problem
+    /// edge weight if `u -> v` crosses clusters, 0 if they share a
+    /// cluster (or there is no edge).
+    #[inline]
+    pub fn clus_weight(&self, u: TaskId, v: TaskId) -> Weight {
+        if self.clustering.same_cluster(u, v) {
+            0
+        } else {
+            self.problem.graph().weight(u, v).unwrap_or(0)
+        }
+    }
+
+    /// Iterate over cross-cluster edges `(u, v, weight)` — the edges that
+    /// survive into the clustered problem graph.
+    pub fn cross_edges(&self) -> impl Iterator<Item = (TaskId, TaskId, Weight)> + '_ {
+        self.problem
+            .graph()
+            .edges()
+            .filter(move |&(u, v, _)| !self.clustering.same_cluster(u, v))
+    }
+
+    /// The dense `clus_edge[np][np]` matrix (Fig 19-a).
+    pub fn clus_edge_matrix(&self) -> SquareMatrix<Weight> {
+        let mut m = SquareMatrix::new(self.num_tasks());
+        for (u, v, w) in self.cross_edges() {
+            m.set(u, v, w);
+        }
+        m
+    }
+
+    /// Total weight crossing clusters — the communication volume the
+    /// mapping must place on the network.
+    pub fn total_cut_weight(&self) -> Weight {
+        self.cross_edges().map(|(_, _, w)| w).sum()
+    }
+
+    /// The paper's `mca[na]` vector: for each cluster, the sum of the
+    /// weights of all clustered (cross) edges incident to it (§3.3(c)).
+    /// Used by step 3 of the initial assignment.
+    pub fn communication_intensity(&self) -> Vec<Weight> {
+        let mut mca = vec![0; self.num_clusters()];
+        for (u, v, w) in self.cross_edges() {
+            mca[self.cluster_of(u)] += w;
+            mca[self.cluster_of(v)] += w;
+        }
+        mca
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4 tasks: 1 -> 2 (w5), 1 -> 3 (w2), 2 -> 4 (w1), 3 -> 4 (w7);
+    /// clusters {1,2} and {3,4} (0-based {0,1}, {2,3}).
+    fn fixture() -> ClusteredProblemGraph {
+        let p = ProblemGraph::from_paper_edges(
+            &[1, 1, 1, 1],
+            &[(1, 2, 5), (1, 3, 2), (2, 4, 1), (3, 4, 7)],
+        )
+        .unwrap();
+        let c = Clustering::new(vec![0, 0, 1, 1]).unwrap();
+        ClusteredProblemGraph::new(p, c).unwrap()
+    }
+
+    #[test]
+    fn intra_cluster_weights_vanish() {
+        let g = fixture();
+        assert_eq!(g.clus_weight(0, 1), 0, "same cluster");
+        assert_eq!(g.clus_weight(2, 3), 0, "same cluster");
+        assert_eq!(g.clus_weight(0, 2), 2, "cross keeps weight");
+        assert_eq!(g.clus_weight(1, 3), 1);
+        assert_eq!(g.clus_weight(3, 0), 0, "no such edge");
+    }
+
+    #[test]
+    fn cross_edges_and_cut_weight() {
+        let g = fixture();
+        let mut cross: Vec<_> = g.cross_edges().collect();
+        cross.sort_unstable();
+        assert_eq!(cross, vec![(0, 2, 2), (1, 3, 1)]);
+        assert_eq!(g.total_cut_weight(), 3);
+    }
+
+    #[test]
+    fn matrix_matches_clus_weight() {
+        let g = fixture();
+        let m = g.clus_edge_matrix();
+        for u in 0..4 {
+            for v in 0..4 {
+                assert_eq!(m.get(u, v), g.clus_weight(u, v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn communication_intensity_counts_both_endpoints() {
+        let g = fixture();
+        // Cross edges: (0,2,2) and (1,3,1); each adds to both clusters.
+        assert_eq!(g.communication_intensity(), vec![3, 3]);
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let p = ProblemGraph::from_paper_edges(&[1, 1], &[(1, 2, 1)]).unwrap();
+        let c = Clustering::new(vec![0, 1, 1]).unwrap();
+        assert!(matches!(
+            ClusteredProblemGraph::new(p, c),
+            Err(GraphError::SizeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,100 @@
+//! Load-balanced clustering (LPT — longest processing time first).
+//!
+//! Tasks are taken in decreasing execution time and each is placed on the
+//! currently lightest cluster, the classic `4/3`-approximate multiway
+//! partitioning heuristic. Balances computation but ignores the
+//! communication structure entirely — the opposite pole from
+//! [`crate::clustering::comm_greedy`] in the clustering ablation.
+
+use mimd_graph::error::GraphError;
+use mimd_graph::Time;
+
+use crate::clustering::Clustering;
+use crate::problem::ProblemGraph;
+
+/// LPT assignment of tasks to `na` clusters by execution time.
+/// Requires `na <= np`.
+pub fn load_balanced_clustering(
+    problem: &ProblemGraph,
+    na: usize,
+) -> Result<Clustering, GraphError> {
+    let np = problem.len();
+    if na == 0 || na > np {
+        return Err(GraphError::InvalidParameter(format!(
+            "need 1 <= na <= np, got na={na}, np={np}"
+        )));
+    }
+    let mut order: Vec<usize> = (0..np).collect();
+    order.sort_by_key(|&t| (std::cmp::Reverse(problem.size(t)), t));
+    let mut load = vec![0 as Time; na];
+    let mut used = vec![false; na];
+    let mut cluster_of = vec![0usize; np];
+    for (rank, &t) in order.iter().enumerate() {
+        // First `na` placements seed one task per cluster so none stays
+        // empty; afterwards pick the lightest cluster.
+        let c = if rank < na {
+            let c = used.iter().position(|&u| !u).expect("rank < na");
+            used[c] = true;
+            c
+        } else {
+            (0..na).min_by_key(|&c| (load[c], c)).expect("na >= 1")
+        };
+        cluster_of[t] = c;
+        load[c] += problem.size(t);
+    }
+    Clustering::new(cluster_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, LayeredDagGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn problem(np: usize) -> ProblemGraph {
+        let cfg = GeneratorConfig {
+            tasks: np,
+            ..GeneratorConfig::default()
+        };
+        LayeredDagGenerator::new(cfg)
+            .unwrap()
+            .generate(&mut StdRng::seed_from_u64(9))
+    }
+
+    #[test]
+    fn balances_total_load() {
+        let p = problem(60);
+        let c = load_balanced_clustering(&p, 6).unwrap();
+        let mut load = vec![0u64; 6];
+        for t in 0..60 {
+            load[c.cluster_of(t)] += p.size(t);
+        }
+        let (lo, hi) = (load.iter().min().unwrap(), load.iter().max().unwrap());
+        // LPT keeps the spread below the largest single task size (10).
+        assert!(hi - lo <= 10, "spread {} too large: {load:?}", hi - lo);
+    }
+
+    #[test]
+    fn every_cluster_nonempty_even_when_na_equals_np() {
+        let p = problem(8);
+        let c = load_balanced_clustering(&p, 8).unwrap();
+        assert_eq!(c.max_cluster_size(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_na() {
+        let p = problem(4);
+        assert!(load_balanced_clustering(&p, 0).is_err());
+        assert!(load_balanced_clustering(&p, 5).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = problem(30);
+        assert_eq!(
+            load_balanced_clustering(&p, 5).unwrap(),
+            load_balanced_clustering(&p, 5).unwrap()
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Clustering front-ends: grouping `np` tasks into `na` clusters.
+//!
+//! The paper assumes "an existing technique is first applied to produce a
+//! clustering from a given problem graph" (§1) and its experiments use a
+//! *random clustering program* (§5). [`random`] reproduces that baseline;
+//! the other modules provide better-informed front-ends referenced by the
+//! paper's citations \[8–11\] in spirit: [`sarkar`] (edge-zeroing
+//! internalization), [`round_robin`] (trivial
+//! deterministic), [`load_balance`] (LPT-style computation balance),
+//! [`comm_greedy`] (edge-contraction communication minimization) and
+//! [`chains`] (linear-chain clustering à la Gaussian-elimination DAGs).
+//! The clustering ablation (DESIGN.md A4) compares them.
+
+pub mod chains;
+pub mod comm_greedy;
+pub mod load_balance;
+pub mod random;
+pub mod region;
+pub mod round_robin;
+pub mod sarkar;
+
+use serde::{Deserialize, Serialize};
+
+use mimd_graph::error::GraphError;
+
+use crate::{ClusterId, TaskId};
+
+/// A partition of tasks `0..np` into clusters `0..na`, every cluster
+/// non-empty (an empty cluster would waste a processor — the paper maps
+/// exactly `na = ns` clusters onto `ns` processors).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clustering {
+    cluster_of: Vec<ClusterId>,
+    members: Vec<Vec<TaskId>>,
+}
+
+impl Clustering {
+    /// Build from a per-task cluster assignment; `na` is inferred as
+    /// `max + 1`. Fails if any cluster in `0..na` is empty.
+    pub fn new(cluster_of: Vec<ClusterId>) -> Result<Self, GraphError> {
+        if cluster_of.is_empty() {
+            return Err(GraphError::InvalidParameter(
+                "clustering of zero tasks".into(),
+            ));
+        }
+        let na = cluster_of.iter().max().copied().unwrap_or(0) + 1;
+        let mut members: Vec<Vec<TaskId>> = vec![Vec::new(); na];
+        for (task, &c) in cluster_of.iter().enumerate() {
+            members[c].push(task);
+        }
+        if let Some(empty) = members.iter().position(Vec::is_empty) {
+            return Err(GraphError::InvalidParameter(format!(
+                "cluster {empty} is empty; every cluster must own >= 1 task"
+            )));
+        }
+        Ok(Clustering {
+            cluster_of,
+            members,
+        })
+    }
+
+    /// Build from the paper's `clus_pnode[na][..]` member-list form
+    /// (0-based task ids). Every task `0..np` must appear exactly once.
+    pub fn from_members(members: Vec<Vec<TaskId>>, np: usize) -> Result<Self, GraphError> {
+        let mut cluster_of = vec![usize::MAX; np];
+        for (c, tasks) in members.iter().enumerate() {
+            for &t in tasks {
+                if t >= np {
+                    return Err(GraphError::NodeOutOfRange { node: t, len: np });
+                }
+                if cluster_of[t] != usize::MAX {
+                    return Err(GraphError::InvalidParameter(format!(
+                        "task {t} appears in two clusters"
+                    )));
+                }
+                cluster_of[t] = c;
+            }
+        }
+        if let Some(t) = cluster_of.iter().position(|&c| c == usize::MAX) {
+            return Err(GraphError::InvalidParameter(format!("task {t} unassigned")));
+        }
+        Clustering::new(cluster_of)
+    }
+
+    /// Number of clusters `na`.
+    #[inline]
+    pub fn num_clusters(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of tasks `np`.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.cluster_of.len()
+    }
+
+    /// Cluster owning task `t`.
+    #[inline]
+    pub fn cluster_of(&self, t: TaskId) -> ClusterId {
+        self.cluster_of[t]
+    }
+
+    /// The per-task assignment vector.
+    pub fn assignments(&self) -> &[ClusterId] {
+        &self.cluster_of
+    }
+
+    /// Tasks in cluster `c`, ascending (the paper's `clus_pnode[c][..]`
+    /// row).
+    #[inline]
+    pub fn members(&self, c: ClusterId) -> &[TaskId] {
+        &self.members[c]
+    }
+
+    /// `true` iff `a` and `b` share a cluster — such problem edges lose
+    /// their weight in the clustered problem graph.
+    #[inline]
+    pub fn same_cluster(&self, a: TaskId, b: TaskId) -> bool {
+        self.cluster_of[a] == self.cluster_of[b]
+    }
+
+    /// Size of the largest cluster.
+    pub fn max_cluster_size(&self) -> usize {
+        self.members.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_builds_member_lists() {
+        let c = Clustering::new(vec![0, 1, 0, 2, 1]).unwrap();
+        assert_eq!(c.num_clusters(), 3);
+        assert_eq!(c.num_tasks(), 5);
+        assert_eq!(c.members(0), &[0, 2]);
+        assert_eq!(c.members(1), &[1, 4]);
+        assert_eq!(c.members(2), &[3]);
+        assert!(c.same_cluster(0, 2));
+        assert!(!c.same_cluster(0, 1));
+        assert_eq!(c.max_cluster_size(), 2);
+    }
+
+    #[test]
+    fn rejects_empty_cluster_and_empty_input() {
+        // Cluster 1 missing.
+        assert!(Clustering::new(vec![0, 2, 2]).is_err());
+        assert!(Clustering::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn from_members_roundtrip() {
+        let c = Clustering::from_members(vec![vec![0, 3], vec![1], vec![2]], 4).unwrap();
+        assert_eq!(c.cluster_of(3), 0);
+        assert_eq!(c.assignments(), &[0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn from_members_detects_errors() {
+        assert!(
+            Clustering::from_members(vec![vec![0], vec![0]], 1).is_err(),
+            "duplicate"
+        );
+        assert!(
+            Clustering::from_members(vec![vec![0]], 2).is_err(),
+            "unassigned"
+        );
+        assert!(
+            Clustering::from_members(vec![vec![5]], 2).is_err(),
+            "out of range"
+        );
+    }
+}

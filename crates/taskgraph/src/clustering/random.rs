@@ -1,0 +1,104 @@
+//! Random clustering — the front-end the paper's experiments use
+//! ("a random clustering program was developed", §5).
+//!
+//! Tasks are assigned to clusters uniformly at random, then repaired so
+//! that no cluster is empty (steal a task from the largest cluster).
+
+use rand::Rng;
+
+use mimd_graph::error::GraphError;
+
+use crate::clustering::Clustering;
+use crate::problem::ProblemGraph;
+
+/// Uniformly random assignment of tasks to `na` clusters, repaired to
+/// keep every cluster non-empty. Requires `na <= np`.
+pub fn random_clustering(
+    problem: &ProblemGraph,
+    na: usize,
+    rng: &mut impl Rng,
+) -> Result<Clustering, GraphError> {
+    let np = problem.len();
+    if na == 0 || na > np {
+        return Err(GraphError::InvalidParameter(format!(
+            "need 1 <= na <= np, got na={na}, np={np}"
+        )));
+    }
+    let mut cluster_of: Vec<usize> = (0..np).map(|_| rng.gen_range(0..na)).collect();
+    // Repair: give each empty cluster one task stolen from the currently
+    // largest cluster (which must have >= 2 since np >= na).
+    loop {
+        let mut counts = vec![0usize; na];
+        for &c in &cluster_of {
+            counts[c] += 1;
+        }
+        let Some(empty) = counts.iter().position(|&n| n == 0) else {
+            break;
+        };
+        let donor = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &n)| n)
+            .map(|(c, _)| c)
+            .expect("na >= 1");
+        let victim = cluster_of
+            .iter()
+            .position(|&c| c == donor)
+            .expect("donor cluster is non-empty");
+        cluster_of[victim] = empty;
+    }
+    Clustering::new(cluster_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, LayeredDagGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn problem(np: usize, seed: u64) -> ProblemGraph {
+        let cfg = GeneratorConfig {
+            tasks: np,
+            ..GeneratorConfig::default()
+        };
+        LayeredDagGenerator::new(cfg)
+            .unwrap()
+            .generate(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn covers_all_clusters() {
+        let p = problem(50, 0);
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let c = random_clustering(&p, 8, &mut rng).unwrap();
+            assert_eq!(c.num_clusters(), 8, "seed {seed}");
+            assert_eq!(c.num_tasks(), 50);
+        }
+    }
+
+    #[test]
+    fn na_equals_np_gives_singletons() {
+        let p = problem(10, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = random_clustering(&p, 10, &mut rng).unwrap();
+        assert_eq!(c.max_cluster_size(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_na() {
+        let p = problem(5, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(random_clustering(&p, 0, &mut rng).is_err());
+        assert!(random_clustering(&p, 6, &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = problem(40, 4);
+        let a = random_clustering(&p, 7, &mut StdRng::seed_from_u64(5)).unwrap();
+        let b = random_clustering(&p, 7, &mut StdRng::seed_from_u64(5)).unwrap();
+        assert_eq!(a, b);
+    }
+}

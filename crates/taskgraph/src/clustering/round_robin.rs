@@ -1,0 +1,55 @@
+//! Round-robin clustering: task `t` goes to cluster `t mod na`.
+//!
+//! The simplest deterministic front-end; useful as a fixed reference in
+//! tests and as the "no information" pole of the clustering ablation.
+
+use mimd_graph::error::GraphError;
+
+use crate::clustering::Clustering;
+use crate::problem::ProblemGraph;
+
+/// Deal tasks to clusters cyclically by id. Requires `na <= np`.
+pub fn round_robin_clustering(problem: &ProblemGraph, na: usize) -> Result<Clustering, GraphError> {
+    let np = problem.len();
+    if na == 0 || na > np {
+        return Err(GraphError::InvalidParameter(format!(
+            "need 1 <= na <= np, got na={na}, np={np}"
+        )));
+    }
+    Clustering::new((0..np).map(|t| t % na).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, LayeredDagGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deals_cyclically() {
+        let cfg = GeneratorConfig {
+            tasks: 7,
+            ..GeneratorConfig::default()
+        };
+        let p = LayeredDagGenerator::new(cfg)
+            .unwrap()
+            .generate(&mut StdRng::seed_from_u64(0));
+        let c = round_robin_clustering(&p, 3).unwrap();
+        assert_eq!(c.assignments(), &[0, 1, 2, 0, 1, 2, 0]);
+        assert_eq!(c.members(0), &[0, 3, 6]);
+    }
+
+    #[test]
+    fn rejects_bad_na() {
+        let cfg = GeneratorConfig {
+            tasks: 3,
+            ..GeneratorConfig::default()
+        };
+        let p = LayeredDagGenerator::new(cfg)
+            .unwrap()
+            .generate(&mut StdRng::seed_from_u64(0));
+        assert!(round_robin_clustering(&p, 0).is_err());
+        assert!(round_robin_clustering(&p, 4).is_err());
+    }
+}

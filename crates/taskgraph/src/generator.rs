@@ -1,0 +1,281 @@
+//! Random problem-graph generator.
+//!
+//! §5 of the paper: *"a random problem graph generator was created ...
+//! The weights of the problem nodes and the weights of the problem edges
+//! are also produced randomly. The numbers of nodes in a problem graph
+//! range from 30 to 300."* The generator itself was never published, so
+//! we use the standard layered construction for random task DAGs:
+//! tasks are dealt into consecutive layers and edges run from earlier to
+//! later layers with a configurable density, which yields precedence
+//! graphs with tunable parallelism/depth — the same knobs the paper's
+//! experiments vary implicitly. All randomness flows through the caller's
+//! RNG, so experiments are reproducible from a seed.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use mimd_graph::digraph::WeightedDigraph;
+use mimd_graph::error::GraphError;
+use mimd_graph::{Time, Weight};
+
+use crate::problem::ProblemGraph;
+
+/// Parameters of the layered random-DAG construction.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of tasks `np` (paper: 30–300).
+    pub tasks: usize,
+    /// Average number of tasks per layer; layer widths are drawn
+    /// uniformly from `1..=2*avg_width - 1` so the mean holds.
+    pub avg_width: usize,
+    /// Probability of an edge from a task to each task in the *next*
+    /// layer (short dependencies, the common case).
+    pub p_forward: f64,
+    /// Probability of an edge to each task in layers further ahead
+    /// (long-range dependencies).
+    pub p_skip: f64,
+    /// Task execution times drawn uniformly from this inclusive range.
+    pub task_weight: (Time, Time),
+    /// Edge communication times drawn uniformly from this inclusive range.
+    pub edge_weight: (Weight, Weight),
+    /// When `true` (default), every task in layer `> 0` is guaranteed at
+    /// least one predecessor in the previous layer, keeping the DAG's
+    /// depth meaningful (no accidental wide independent stripes).
+    pub connect_layers: bool,
+    /// When `Some(r)`, forward edges from a task only target the ~`2r+1`
+    /// positionally nearest tasks of the next layer (positions scaled
+    /// between layers of different widths). This produces the
+    /// stencil-/pipeline-like locality of the workloads the paper's
+    /// citations study (finite-element graphs \[7\], linear-algebra DAGs
+    /// \[10\], Gaussian elimination \[11\]). `None` (default) wires any
+    /// task to any next-layer task.
+    pub locality_window: Option<usize>,
+}
+
+impl Default for GeneratorConfig {
+    /// Defaults sized like the paper's experiments: 100 tasks, ~6 per
+    /// layer, weights 1–10 for tasks and 1–5 for edges.
+    fn default() -> Self {
+        GeneratorConfig {
+            tasks: 100,
+            avg_width: 6,
+            p_forward: 0.35,
+            p_skip: 0.03,
+            task_weight: (1, 10),
+            edge_weight: (1, 5),
+            connect_layers: true,
+            locality_window: None,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Validate ranges (non-zero sizes, probabilities in `[0, 1]`,
+    /// weight ranges non-empty with positive minima).
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.tasks == 0 {
+            return Err(GraphError::InvalidParameter("tasks must be >= 1".into()));
+        }
+        if self.avg_width == 0 {
+            return Err(GraphError::InvalidParameter(
+                "avg_width must be >= 1".into(),
+            ));
+        }
+        for (name, p) in [("p_forward", self.p_forward), ("p_skip", self.p_skip)] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(GraphError::InvalidParameter(format!(
+                    "{name} {p} not in [0,1]"
+                )));
+            }
+        }
+        if self.task_weight.0 == 0 || self.task_weight.0 > self.task_weight.1 {
+            return Err(GraphError::InvalidParameter(format!(
+                "task weight range {:?} must be 1 <= lo <= hi",
+                self.task_weight
+            )));
+        }
+        if self.edge_weight.0 == 0 || self.edge_weight.0 > self.edge_weight.1 {
+            return Err(GraphError::InvalidParameter(format!(
+                "edge weight range {:?} must be 1 <= lo <= hi",
+                self.edge_weight
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Layered random DAG generator (see [`GeneratorConfig`]).
+#[derive(Clone, Debug)]
+pub struct LayeredDagGenerator {
+    config: GeneratorConfig,
+}
+
+impl LayeredDagGenerator {
+    /// Create a generator after validating `config`.
+    pub fn new(config: GeneratorConfig) -> Result<Self, GraphError> {
+        config.validate()?;
+        Ok(LayeredDagGenerator { config })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generate one problem graph.
+    pub fn generate(&self, rng: &mut impl Rng) -> ProblemGraph {
+        let c = &self.config;
+        // Deal tasks into layers.
+        let mut layers: Vec<Vec<usize>> = Vec::new();
+        let mut next = 0usize;
+        while next < c.tasks {
+            let hi = (2 * c.avg_width).saturating_sub(1).max(1);
+            let width = rng.gen_range(1..=hi).min(c.tasks - next);
+            layers.push((next..next + width).collect());
+            next += width;
+        }
+        let mut g = WeightedDigraph::new(c.tasks);
+        let edge_w = |rng: &mut dyn rand::RngCore| -> Weight {
+            rng.gen_range(c.edge_weight.0..=c.edge_weight.1)
+        };
+        for li in 0..layers.len() {
+            for (pos, &u) in layers[li].iter().enumerate() {
+                // Next-layer edges (optionally restricted to a locality
+                // window around the task's scaled position).
+                if li + 1 < layers.len() {
+                    let next = &layers[li + 1];
+                    let (lo, hi) = match c.locality_window {
+                        Some(r) => {
+                            // Scale this task's position into the next
+                            // layer's index space, then widen by r.
+                            let center = pos * next.len() / layers[li].len().max(1);
+                            (center.saturating_sub(r), (center + r).min(next.len() - 1))
+                        }
+                        None => (0, next.len() - 1),
+                    };
+                    for &v in &next[lo..=hi] {
+                        if rng.gen_bool(c.p_forward) {
+                            let w = edge_w(rng);
+                            g.add_edge(u, v, w).expect("layered edges are acyclic");
+                        }
+                    }
+                }
+                // Long-range edges.
+                for later in layers.iter().skip(li + 2) {
+                    for &v in later {
+                        if rng.gen_bool(c.p_skip) {
+                            let w = edge_w(rng);
+                            g.add_edge(u, v, w).expect("layered edges are acyclic");
+                        }
+                    }
+                }
+            }
+        }
+        if c.connect_layers {
+            for li in 1..layers.len() {
+                for (pos, &v) in layers[li].iter().enumerate() {
+                    if g.predecessors(v).is_empty() {
+                        let prev = &layers[li - 1];
+                        let u = match c.locality_window {
+                            // Nearest previous-layer task by scaled
+                            // position keeps the guaranteed edge local.
+                            Some(_) => prev[pos * prev.len() / layers[li].len().max(1)],
+                            None => prev[rng.gen_range(0..prev.len())],
+                        };
+                        let w = edge_w(rng);
+                        g.add_edge(u, v, w).expect("layered edges are acyclic");
+                    }
+                }
+            }
+        }
+        let sizes: Vec<Time> = (0..c.tasks)
+            .map(|_| rng.gen_range(c.task_weight.0..=c.task_weight.1))
+            .collect();
+        ProblemGraph::new(g, sizes).expect("generator output is a valid problem graph")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_valid_dags_across_seeds() {
+        let gen = LayeredDagGenerator::new(GeneratorConfig::default()).unwrap();
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let p = gen.generate(&mut rng);
+            assert_eq!(p.len(), 100);
+            assert!(p.sizes().iter().all(|&s| (1..=10).contains(&s)));
+            assert!(p.graph().edges().all(|(_, _, w)| (1..=5).contains(&w)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let gen = LayeredDagGenerator::new(GeneratorConfig::default()).unwrap();
+        let a = gen.generate(&mut StdRng::seed_from_u64(7));
+        let b = gen.generate(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = gen.generate(&mut StdRng::seed_from_u64(8));
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn connect_layers_guarantees_predecessors() {
+        let cfg = GeneratorConfig {
+            tasks: 60,
+            p_forward: 0.05,
+            p_skip: 0.0,
+            connect_layers: true,
+            ..GeneratorConfig::default()
+        };
+        let gen = LayeredDagGenerator::new(cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = gen.generate(&mut rng);
+        // Sources exist only in the first layer; with avg_width 6 the
+        // first layer has at most 11 tasks.
+        assert!(p.graph().sources().len() <= 11);
+    }
+
+    #[test]
+    fn single_task_graph() {
+        let cfg = GeneratorConfig {
+            tasks: 1,
+            ..GeneratorConfig::default()
+        };
+        let gen = LayeredDagGenerator::new(cfg).unwrap();
+        let p = gen.generate(&mut StdRng::seed_from_u64(0));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.graph().edge_count(), 0);
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad = |f: fn(&mut GeneratorConfig)| {
+            let mut c = GeneratorConfig::default();
+            f(&mut c);
+            LayeredDagGenerator::new(c).is_err()
+        };
+        assert!(bad(|c| c.tasks = 0));
+        assert!(bad(|c| c.avg_width = 0));
+        assert!(bad(|c| c.p_forward = 1.5));
+        assert!(bad(|c| c.p_skip = -0.1));
+        assert!(bad(|c| c.task_weight = (0, 5)));
+        assert!(bad(|c| c.edge_weight = (3, 2)));
+    }
+
+    #[test]
+    fn paper_scale_graphs_generate_quickly() {
+        let cfg = GeneratorConfig {
+            tasks: 300,
+            ..GeneratorConfig::default()
+        };
+        let gen = LayeredDagGenerator::new(cfg).unwrap();
+        let p = gen.generate(&mut StdRng::seed_from_u64(1));
+        assert_eq!(p.len(), 300);
+        assert!(p.graph().edge_count() > 300, "should be reasonably dense");
+    }
+}

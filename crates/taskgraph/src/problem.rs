@@ -1,0 +1,220 @@
+//! The paper's *problem graph*: a precedence DAG with task execution
+//! times (`task_size[np]`) and communication times (`prob_edge[np][np]`).
+
+use serde::{Deserialize, Serialize};
+
+use mimd_graph::dag::{self, TopoOrder};
+use mimd_graph::digraph::WeightedDigraph;
+use mimd_graph::error::GraphError;
+use mimd_graph::matrix::SquareMatrix;
+use mimd_graph::{Time, Weight};
+
+use crate::TaskId;
+
+/// A parallel program: tasks with execution times connected by weighted
+/// data-dependency edges (Fig 2). Internally 0-based; the paper's figures
+/// number tasks from 1.
+///
+/// Invariants enforced at construction:
+/// * the dependency graph is acyclic,
+/// * every task has a positive execution time (the paper measures tasks
+///   in whole time units; a zero-time task would make "latest task"
+///   ambiguous).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProblemGraph {
+    graph: WeightedDigraph,
+    task_size: Vec<Time>,
+    topo: Vec<TaskId>,
+}
+
+impl ProblemGraph {
+    /// Build from a dependency digraph and per-task execution times.
+    pub fn new(graph: WeightedDigraph, task_size: Vec<Time>) -> Result<Self, GraphError> {
+        if graph.node_count() != task_size.len() {
+            return Err(GraphError::SizeMismatch {
+                left: graph.node_count(),
+                right: task_size.len(),
+            });
+        }
+        if let Some(t) = task_size.iter().position(|&s| s == 0) {
+            return Err(GraphError::InvalidParameter(format!(
+                "task {t} has zero execution time; tasks take >= 1 time unit"
+            )));
+        }
+        let topo = TopoOrder::new(&graph)?.order().to_vec();
+        Ok(ProblemGraph {
+            graph,
+            task_size,
+            topo,
+        })
+    }
+
+    /// Convenience constructor from 1-based `(from, to, weight)` edge
+    /// triples, matching the paper's figures. `sizes` stays 0-based
+    /// (element `k` is the weight of the task the paper calls `k + 1`).
+    pub fn from_paper_edges(
+        sizes: &[Time],
+        edges_1based: &[(usize, usize, Weight)],
+    ) -> Result<Self, GraphError> {
+        let mut g = WeightedDigraph::new(sizes.len());
+        for &(i, j, w) in edges_1based {
+            if i == 0 || j == 0 {
+                return Err(GraphError::InvalidParameter(
+                    "paper edges are 1-based; 0 is not a valid endpoint".into(),
+                ));
+            }
+            g.add_edge(i - 1, j - 1, w)?;
+        }
+        ProblemGraph::new(g, sizes.to_vec())
+    }
+
+    /// Number of tasks `np`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// `true` iff the program has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Execution time of task `t` (the paper's `task_size[t]`).
+    #[inline]
+    pub fn size(&self, t: TaskId) -> Time {
+        self.task_size[t]
+    }
+
+    /// All execution times.
+    pub fn sizes(&self) -> &[Time] {
+        &self.task_size
+    }
+
+    /// The dependency digraph (the paper's `prob_edge` matrix as a graph).
+    #[inline]
+    pub fn graph(&self) -> &WeightedDigraph {
+        &self.graph
+    }
+
+    /// A topological order of the tasks, fixed at construction. All
+    /// schedule derivations iterate tasks in this order, which realizes
+    /// the paper's "repeat until all tasks have been visited" loops in a
+    /// single pass.
+    #[inline]
+    pub fn topo_order(&self) -> &[TaskId] {
+        &self.topo
+    }
+
+    /// Predecessors of `t` with communication weights — the paper scans
+    /// column `t` of `prob_edge` for this.
+    #[inline]
+    pub fn predecessors(&self, t: TaskId) -> &[(TaskId, Weight)] {
+        self.graph.predecessors(t)
+    }
+
+    /// Successors of `t` with communication weights.
+    #[inline]
+    pub fn successors(&self, t: TaskId) -> &[(TaskId, Weight)] {
+        self.graph.successors(t)
+    }
+
+    /// The dense `prob_edge[np][np]` matrix (0 = no edge).
+    pub fn edge_matrix(&self) -> SquareMatrix<Weight> {
+        self.graph.to_matrix()
+    }
+
+    /// Total execution time if run sequentially (sum of task sizes) — a
+    /// trivial upper bound on any mapping's usefulness and the
+    /// denominator of speedup metrics.
+    pub fn sequential_time(&self) -> Time {
+        self.task_size.iter().sum()
+    }
+
+    /// Critical-path length through the *problem* graph, counting every
+    /// communication at its full weight (i.e. as if every edge crossed
+    /// one system link).
+    pub fn critical_path(&self) -> Time {
+        dag::longest_path(&self.graph, &self.task_size)
+            .expect("problem graphs are DAGs by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ProblemGraph {
+        // 1 -> 2 (w1), 1 -> 3 (w2), 2 -> 4 (w1), 3 -> 4 (w3); sizes 1,2,1,1.
+        ProblemGraph::from_paper_edges(&[1, 2, 1, 1], &[(1, 2, 1), (1, 3, 2), (2, 4, 1), (3, 4, 3)])
+            .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = small();
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        assert_eq!(p.size(1), 2);
+        assert_eq!(p.sizes(), &[1, 2, 1, 1]);
+        assert_eq!(p.predecessors(3), &[(1, 1), (2, 3)]);
+        assert_eq!(p.successors(0), &[(1, 1), (2, 2)]);
+        assert_eq!(p.sequential_time(), 5);
+    }
+
+    #[test]
+    fn paper_edges_are_one_based() {
+        let p = small();
+        // Paper edge (1,2,1) becomes 0 -> 1 internally.
+        assert_eq!(p.graph().weight(0, 1), Some(1));
+        assert!(ProblemGraph::from_paper_edges(&[1], &[(0, 1, 1)]).is_err());
+    }
+
+    #[test]
+    fn rejects_cycles_zero_sizes_and_mismatches() {
+        let mut g = WeightedDigraph::new(2);
+        g.add_edge(0, 1, 1).unwrap();
+        g.add_edge(1, 0, 1).unwrap();
+        assert_eq!(
+            ProblemGraph::new(g, vec![1, 1]),
+            Err(GraphError::CycleDetected)
+        );
+
+        let g2 = WeightedDigraph::new(2);
+        assert!(ProblemGraph::new(g2.clone(), vec![1, 0]).is_err());
+        assert!(matches!(
+            ProblemGraph::new(g2, vec![1]),
+            Err(GraphError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn topo_order_is_valid() {
+        let p = small();
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; p.len()];
+            for (i, &t) in p.topo_order().iter().enumerate() {
+                pos[t] = i;
+            }
+            pos
+        };
+        for (u, v, _) in p.graph().edges() {
+            assert!(pos[u] < pos[v]);
+        }
+    }
+
+    #[test]
+    fn critical_path_counts_nodes_and_edges() {
+        let p = small();
+        // 1(1) -2-> 3(1) -3-> 4(1): 1 + 2 + 1 + 3 + 1 = 8.
+        assert_eq!(p.critical_path(), 8);
+    }
+
+    #[test]
+    fn edge_matrix_matches_graph() {
+        let p = small();
+        let m = p.edge_matrix();
+        assert_eq!(m.get(0, 2), 2);
+        assert_eq!(m.get(2, 0), 0);
+        assert_eq!(m.count_nonzero(), 4);
+    }
+}

@@ -1,0 +1,325 @@
+//! Structured task-graph families from the paper's motivating domain.
+//!
+//! The paper's citations study mapping for concrete parallel programs:
+//! finite-element graphs (Sadayappan & Ercal \[7\]), linear-algebra DAGs
+//! (Gerasoulis & Nelken \[10\]) and Gaussian elimination on MIMD
+//! machines (Cosnard et al. \[11\]). These constructors build those
+//! graphs (plus the other classic shapes: stencil sweeps, FFT
+//! butterflies, divide-and-conquer trees, fork–join chains) so the
+//! examples and ablations can exercise the mapper on *recognizable*
+//! workloads instead of only random DAGs.
+
+use mimd_graph::digraph::WeightedDigraph;
+use mimd_graph::error::GraphError;
+use mimd_graph::{Time, Weight};
+
+use crate::problem::ProblemGraph;
+
+/// Gaussian elimination on an `n × n` matrix (column-oriented, as in
+/// Cosnard et al. \[11\]): task `(k)` is the pivot step on column `k`,
+/// task `(k, j)` (k < j) updates column `j` with pivot `k`. The pivot of
+/// step `k+1` depends on update `(k, k+1)`; update `(k, j)` depends on
+/// pivot `k` and on update `(k-1, j)`.
+///
+/// `pivot_time`/`update_time` are per-task weights and `msg` the
+/// communication weight of every edge.
+pub fn gaussian_elimination(
+    n: usize,
+    pivot_time: Time,
+    update_time: Time,
+    msg: Weight,
+) -> Result<ProblemGraph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameter(
+            "gaussian elimination needs n >= 2".into(),
+        ));
+    }
+    if pivot_time == 0 || update_time == 0 || msg == 0 {
+        return Err(GraphError::InvalidParameter("weights must be >= 1".into()));
+    }
+    // Task ids: pivot k (k in 0..n-1) first, then updates (k, j) for
+    // k < j <= n-1, laid out row-major.
+    let pivots = n - 1;
+    let update_id = {
+        // Prefix offsets for updates of pivot k: updates are (k, j),
+        // j in k+1..n.
+        let mut offsets = vec![0usize; pivots];
+        let mut acc = pivots;
+        for (k, slot) in offsets.iter_mut().enumerate() {
+            *slot = acc;
+            acc += n - 1 - k;
+        }
+        move |k: usize, j: usize| offsets[k] + (j - k - 1)
+    };
+    let total = pivots + (n - 1) * n / 2;
+    let mut g = WeightedDigraph::new(total);
+    let mut sizes = vec![update_time; total];
+    for k in 0..pivots {
+        sizes[k] = pivot_time;
+    }
+    for k in 0..pivots {
+        for j in (k + 1)..n {
+            let u = update_id(k, j);
+            // Pivot k feeds update (k, j).
+            g.add_edge(k, u, msg)?;
+            // Update (k-1, j) feeds update (k, j).
+            if k > 0 {
+                g.add_edge(update_id(k - 1, j), u, msg)?;
+            }
+            // Update (k, k+1) produces the next pivot column.
+            if j == k + 1 && k + 1 < pivots {
+                g.add_edge(u, k + 1, msg)?;
+            }
+        }
+    }
+    ProblemGraph::new(g, sizes)
+}
+
+/// A 1-D stencil sweep: `width` cells iterated for `steps` time steps;
+/// each cell depends on itself and its two neighbors from the previous
+/// step — the communication pattern of finite-difference codes (and the
+/// locality the paper's citation \[7\] maps onto meshes).
+pub fn stencil_1d(
+    width: usize,
+    steps: usize,
+    task_time: Time,
+    msg: Weight,
+) -> Result<ProblemGraph, GraphError> {
+    if width == 0 || steps == 0 {
+        return Err(GraphError::InvalidParameter(
+            "stencil needs width, steps >= 1".into(),
+        ));
+    }
+    if task_time == 0 || msg == 0 {
+        return Err(GraphError::InvalidParameter("weights must be >= 1".into()));
+    }
+    let id = |t: usize, x: usize| t * width + x;
+    let mut g = WeightedDigraph::new(width * steps);
+    for t in 1..steps {
+        for x in 0..width {
+            g.add_edge(id(t - 1, x), id(t, x), msg)?;
+            if x > 0 {
+                g.add_edge(id(t - 1, x - 1), id(t, x), msg)?;
+            }
+            if x + 1 < width {
+                g.add_edge(id(t - 1, x + 1), id(t, x), msg)?;
+            }
+        }
+    }
+    ProblemGraph::new(g, vec![task_time; width * steps])
+}
+
+/// FFT butterfly: `2^log2n` points over `log2n` stages; stage `s` task
+/// `i` depends on stage `s-1` tasks `i` and `i ^ 2^(s-1)` — the
+/// communication skeleton that hypercubes were built for.
+pub fn fft_butterfly(log2n: u32, task_time: Time, msg: Weight) -> Result<ProblemGraph, GraphError> {
+    if log2n == 0 || log2n > 12 {
+        return Err(GraphError::InvalidParameter(
+            "fft needs 1 <= log2n <= 12".into(),
+        ));
+    }
+    if task_time == 0 || msg == 0 {
+        return Err(GraphError::InvalidParameter("weights must be >= 1".into()));
+    }
+    let n = 1usize << log2n;
+    let stages = log2n as usize + 1; // data stage 0 + log2n butterfly stages
+    let id = |s: usize, i: usize| s * n + i;
+    let mut g = WeightedDigraph::new(n * stages);
+    for s in 1..stages {
+        let stride = 1usize << (s - 1);
+        for i in 0..n {
+            g.add_edge(id(s - 1, i), id(s, i), msg)?;
+            g.add_edge(id(s - 1, i ^ stride), id(s, i), msg)?;
+        }
+    }
+    ProblemGraph::new(g, vec![task_time; n * stages])
+}
+
+/// Divide-and-conquer: a binary splitting tree of depth `depth`, leaf
+/// computations, then a binary combining tree — the fork/join skeleton
+/// of recursive algorithms.
+pub fn divide_and_conquer(
+    depth: u32,
+    split_time: Time,
+    leaf_time: Time,
+    merge_time: Time,
+    msg: Weight,
+) -> Result<ProblemGraph, GraphError> {
+    if depth == 0 || depth > 10 {
+        return Err(GraphError::InvalidParameter(
+            "divide&conquer needs 1 <= depth <= 10".into(),
+        ));
+    }
+    if split_time == 0 || leaf_time == 0 || merge_time == 0 || msg == 0 {
+        return Err(GraphError::InvalidParameter("weights must be >= 1".into()));
+    }
+    // Split tree: nodes 0..2^depth - 1 (heap order). Leaves of the split
+    // tree do the leaf work; merge tree mirrors the split tree.
+    let inner = (1usize << depth) - 1; // split nodes
+    let leaves = 1usize << depth;
+    let total = inner + leaves + inner; // splits + leaves + merges
+    let merge_base = inner + leaves;
+    let mut g = WeightedDigraph::new(total);
+    let mut sizes = vec![split_time; total];
+    for s in sizes.iter_mut().skip(inner).take(leaves) {
+        *s = leaf_time;
+    }
+    for s in sizes.iter_mut().skip(merge_base) {
+        *s = merge_time;
+    }
+    // Split edges.
+    for i in 0..inner {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        for child in [l, r] {
+            if child < inner {
+                g.add_edge(i, child, msg)?;
+            } else {
+                // Child is a leaf: leaf ids are inner..inner+leaves in
+                // left-to-right order of the last tree level.
+                let leaf = inner + (child - inner);
+                g.add_edge(i, leaf, msg)?;
+            }
+        }
+    }
+    // Leaf -> merge leaves' parents; merge tree mirrors split tree ids.
+    for i in (0..inner).rev() {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        for child in [l, r] {
+            if child < inner {
+                g.add_edge(merge_base + child, merge_base + i, msg)?;
+            } else {
+                let leaf = inner + (child - inner);
+                g.add_edge(leaf, merge_base + i, msg)?;
+            }
+        }
+    }
+    ProblemGraph::new(g, sizes)
+}
+
+/// A pipeline of `stages` sequential stages, each a chain of `tasks`
+/// tasks, stage `s` feeding stage `s+1` task-by-task — the simplest
+/// macro-dataflow program.
+pub fn pipeline(
+    stages: usize,
+    tasks: usize,
+    task_time: Time,
+    msg: Weight,
+) -> Result<ProblemGraph, GraphError> {
+    if stages == 0 || tasks == 0 {
+        return Err(GraphError::InvalidParameter(
+            "pipeline needs stages, tasks >= 1".into(),
+        ));
+    }
+    if task_time == 0 || msg == 0 {
+        return Err(GraphError::InvalidParameter("weights must be >= 1".into()));
+    }
+    let id = |s: usize, t: usize| s * tasks + t;
+    let mut g = WeightedDigraph::new(stages * tasks);
+    for s in 0..stages {
+        for t in 0..tasks {
+            if t + 1 < tasks {
+                g.add_edge(id(s, t), id(s, t + 1), msg)?;
+            }
+            if s + 1 < stages {
+                g.add_edge(id(s, t), id(s + 1, t), msg)?;
+            }
+        }
+    }
+    ProblemGraph::new(g, vec![task_time; stages * tasks])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimd_graph::dag::is_acyclic;
+
+    #[test]
+    fn gaussian_elimination_structure() {
+        let p = gaussian_elimination(4, 2, 3, 1).unwrap();
+        // 3 pivots + 3+2+1 updates = 9 tasks.
+        assert_eq!(p.len(), 9);
+        assert!(is_acyclic(p.graph()));
+        // Pivot 0 has no predecessors; the last update column feeds
+        // nothing.
+        assert!(p.predecessors(0).is_empty());
+        // Pivot 1 depends on update (0,1).
+        assert_eq!(p.predecessors(1).len(), 1);
+        // Critical path grows with n.
+        let p6 = gaussian_elimination(6, 2, 3, 1).unwrap();
+        assert!(p6.critical_path() > p.critical_path());
+    }
+
+    #[test]
+    fn gaussian_elimination_rejects_bad_params() {
+        assert!(gaussian_elimination(1, 1, 1, 1).is_err());
+        assert!(gaussian_elimination(4, 0, 1, 1).is_err());
+        assert!(gaussian_elimination(4, 1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn stencil_shape() {
+        let p = stencil_1d(5, 3, 2, 1).unwrap();
+        assert_eq!(p.len(), 15);
+        assert!(is_acyclic(p.graph()));
+        // Interior cell at step 1 has 3 predecessors; border has 2.
+        assert_eq!(p.predecessors(5 + 2).len(), 3);
+        assert_eq!(p.predecessors(5).len(), 2);
+        // Edge count: per step, width self + 2*(width-1) neighbor edges.
+        assert_eq!(p.graph().edge_count(), 2 * (5 + 2 * 4));
+        assert!(stencil_1d(0, 3, 1, 1).is_err());
+    }
+
+    #[test]
+    fn fft_shape() {
+        let p = fft_butterfly(3, 1, 2).unwrap();
+        // 8 points, 4 stages.
+        assert_eq!(p.len(), 32);
+        assert!(is_acyclic(p.graph()));
+        // Every stage >= 1 task has exactly 2 predecessors.
+        for s in 1..4 {
+            for i in 0..8 {
+                assert_eq!(p.predecessors(s * 8 + i).len(), 2, "stage {s} task {i}");
+            }
+        }
+        assert!(fft_butterfly(0, 1, 1).is_err());
+        assert!(fft_butterfly(13, 1, 1).is_err());
+    }
+
+    #[test]
+    fn divide_and_conquer_shape() {
+        let p = divide_and_conquer(2, 1, 5, 2, 1).unwrap();
+        // 3 splits + 4 leaves + 3 merges.
+        assert_eq!(p.len(), 10);
+        assert!(is_acyclic(p.graph()));
+        assert!(p.predecessors(0).is_empty(), "root split starts");
+        // Root merge is the unique sink.
+        assert_eq!(p.graph().sinks(), vec![7]);
+        assert!(divide_and_conquer(0, 1, 1, 1, 1).is_err());
+    }
+
+    #[test]
+    fn pipeline_shape() {
+        let p = pipeline(3, 4, 2, 1).unwrap();
+        assert_eq!(p.len(), 12);
+        assert!(is_acyclic(p.graph()));
+        // First task of first stage is the only source.
+        assert_eq!(p.graph().sources(), vec![0]);
+        // Sequential time = 24; critical path includes comm.
+        assert_eq!(p.sequential_time(), 24);
+        assert!(pipeline(0, 1, 1, 1).is_err());
+    }
+
+    #[test]
+    fn workloads_have_positive_weights() {
+        for p in [
+            gaussian_elimination(5, 2, 3, 2).unwrap(),
+            stencil_1d(6, 4, 3, 2).unwrap(),
+            fft_butterfly(2, 2, 3).unwrap(),
+            divide_and_conquer(3, 1, 4, 2, 2).unwrap(),
+            pipeline(4, 5, 3, 2).unwrap(),
+        ] {
+            assert!(p.sizes().iter().all(|&s| s > 0));
+            assert!(p.graph().edges().all(|(_, _, w)| w > 0));
+        }
+    }
+}

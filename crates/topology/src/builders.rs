@@ -1,0 +1,248 @@
+//! Constructors for the standard interconnection topologies.
+//!
+//! Table 1 maps onto hypercubes, Table 2 onto meshes, Table 3 onto random
+//! connected graphs; the remaining shapes (ring, chain, star, tree, torus,
+//! complete) round out the library for examples and ablations. Every
+//! builder returns a validated [`SystemGraph`].
+
+use rand::Rng;
+
+use mimd_graph::error::GraphError;
+use mimd_graph::generators;
+use mimd_graph::ungraph::UnGraph;
+
+use crate::system::SystemGraph;
+
+/// `d`-dimensional binary hypercube on `2^d` processors: nodes are bit
+/// strings, edges join strings at Hamming distance 1. The paper's Table 1
+/// systems (ns ∈ {4, 8, 16, 32}) are hypercubes of dimension 2–5.
+pub fn hypercube(dim: u32) -> Result<SystemGraph, GraphError> {
+    if dim > 16 {
+        return Err(GraphError::InvalidParameter(format!(
+            "hypercube dim {dim} too large"
+        )));
+    }
+    let n = 1usize << dim;
+    let mut g = UnGraph::new(n);
+    for u in 0..n {
+        for b in 0..dim {
+            let v = u ^ (1usize << b);
+            if u < v {
+                g.add_edge(u, v)?;
+            }
+        }
+    }
+    SystemGraph::new(format!("hypercube(d={dim})"), g)
+}
+
+/// `rows × cols` 2-D mesh (grid without wraparound); node `(r, c)` has id
+/// `r * cols + c`. The paper's Table 2 systems.
+pub fn mesh2d(rows: usize, cols: usize) -> Result<SystemGraph, GraphError> {
+    if rows == 0 || cols == 0 {
+        return Err(GraphError::InvalidParameter(
+            "mesh needs rows, cols >= 1".into(),
+        ));
+    }
+    let mut g = UnGraph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = r * cols + c;
+            if c + 1 < cols {
+                g.add_edge(id, id + 1)?;
+            }
+            if r + 1 < rows {
+                g.add_edge(id, id + cols)?;
+            }
+        }
+    }
+    SystemGraph::new(format!("mesh({rows}x{cols})"), g)
+}
+
+/// `rows × cols` 2-D torus (mesh with wraparound links). Degenerate sizes
+/// (a dimension of 1 or 2) collapse duplicate wraparound edges, which the
+/// simple-graph representation de-duplicates automatically.
+pub fn torus2d(rows: usize, cols: usize) -> Result<SystemGraph, GraphError> {
+    if rows == 0 || cols == 0 {
+        return Err(GraphError::InvalidParameter(
+            "torus needs rows, cols >= 1".into(),
+        ));
+    }
+    if rows * cols == 1 {
+        return SystemGraph::new("torus(1x1)", UnGraph::new(1));
+    }
+    let mut g = UnGraph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = r * cols + c;
+            let right = r * cols + (c + 1) % cols;
+            let down = ((r + 1) % rows) * cols + c;
+            if right != id {
+                g.add_edge(id, right)?;
+            }
+            if down != id {
+                g.add_edge(id, down)?;
+            }
+        }
+    }
+    SystemGraph::new(format!("torus({rows}x{cols})"), g)
+}
+
+/// Ring (cycle) of `n >= 3` processors. The paper's worked example (Figs
+/// 5-a, 21) runs on `ring(4)`.
+pub fn ring(n: usize) -> Result<SystemGraph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter(format!(
+            "ring needs n >= 3, got {n}"
+        )));
+    }
+    let mut g = UnGraph::new(n);
+    for i in 0..n {
+        g.add_edge(i, (i + 1) % n)?;
+    }
+    SystemGraph::new(format!("ring({n})"), g)
+}
+
+/// Chain (path) of `n >= 1` processors.
+pub fn chain(n: usize) -> Result<SystemGraph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter("chain needs n >= 1".into()));
+    }
+    let mut g = UnGraph::new(n);
+    for i in 1..n {
+        g.add_edge(i - 1, i)?;
+    }
+    SystemGraph::new(format!("chain({n})"), g)
+}
+
+/// Star: processor 0 is the hub connected to all `n - 1` leaves.
+pub fn star(n: usize) -> Result<SystemGraph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter("star needs n >= 1".into()));
+    }
+    let mut g = UnGraph::new(n);
+    for leaf in 1..n {
+        g.add_edge(0, leaf)?;
+    }
+    SystemGraph::new(format!("star({n})"), g)
+}
+
+/// Complete binary tree on `n >= 1` processors in heap order
+/// (children of `i` are `2i + 1`, `2i + 2`).
+pub fn binary_tree(n: usize) -> Result<SystemGraph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter("tree needs n >= 1".into()));
+    }
+    let mut g = UnGraph::new(n);
+    for i in 1..n {
+        g.add_edge(i, (i - 1) / 2)?;
+    }
+    SystemGraph::new(format!("btree({n})"), g)
+}
+
+/// Complete graph on `n` processors — the closure topology itself; every
+/// assignment onto it achieves the ideal-graph lower bound.
+pub fn complete(n: usize) -> Result<SystemGraph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter(
+            "complete graph needs n >= 1".into(),
+        ));
+    }
+    SystemGraph::new(format!("complete({n})"), UnGraph::new(n).closure())
+}
+
+/// Random connected topology on `n` processors: spanning tree plus each
+/// extra edge with probability `extra_edge_prob` (Table 3 / Fig 27).
+pub fn random_topology(
+    n: usize,
+    extra_edge_prob: f64,
+    rng: &mut impl Rng,
+) -> Result<SystemGraph, GraphError> {
+    let g = generators::random_connected(n, extra_edge_prob, rng)?;
+    SystemGraph::new(format!("random({n},p={extra_edge_prob})"), g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimd_graph::properties::regularity;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hypercube_structure() {
+        let h = hypercube(3).unwrap();
+        assert_eq!(h.len(), 8);
+        assert_eq!(h.graph().edge_count(), 12);
+        assert_eq!(regularity(h.graph()), Some(3));
+        assert_eq!(h.diameter(), 3);
+        // Hamming-distance property: 0b000 adjacent to 0b001, 0b010, 0b100.
+        assert!(h.adjacent(0, 1) && h.adjacent(0, 2) && h.adjacent(0, 4));
+        assert!(!h.adjacent(0, 3));
+    }
+
+    #[test]
+    fn hypercube_dim0_is_single_node() {
+        let h = hypercube(0).unwrap();
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn mesh_structure() {
+        let m = mesh2d(3, 4).unwrap();
+        assert_eq!(m.len(), 12);
+        // Edge count: rows*(cols-1) + cols*(rows-1) = 3*3 + 4*2 = 17.
+        assert_eq!(m.graph().edge_count(), 17);
+        assert_eq!(m.diameter(), (3 - 1) + (4 - 1));
+        // Corner degree 2, edge degree 3, interior degree 4.
+        assert_eq!(m.degree(0), 2);
+        assert_eq!(m.degree(1), 3);
+        assert_eq!(m.degree(5), 4);
+    }
+
+    #[test]
+    fn torus_is_4_regular_when_big_enough() {
+        let t = torus2d(3, 3).unwrap();
+        assert_eq!(regularity(t.graph()), Some(4));
+        assert_eq!(t.graph().edge_count(), 18);
+        // Degenerate sizes still build.
+        assert!(torus2d(1, 5).is_ok());
+        assert!(torus2d(2, 2).is_ok());
+        assert_eq!(torus2d(1, 1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn ring_chain_star_tree_complete() {
+        assert_eq!(ring(5).unwrap().graph().edge_count(), 5);
+        assert!(ring(2).is_err());
+        assert_eq!(chain(5).unwrap().graph().edge_count(), 4);
+        assert_eq!(chain(5).unwrap().diameter(), 4);
+        let s = star(6).unwrap();
+        assert_eq!(s.degree(0), 5);
+        assert_eq!(s.diameter(), 2);
+        let t = binary_tree(7).unwrap();
+        assert_eq!(t.graph().edge_count(), 6);
+        assert_eq!(t.degree(0), 2);
+        let k = complete(5).unwrap();
+        assert_eq!(k.graph().edge_count(), 10);
+        assert_eq!(k.diameter(), 1);
+    }
+
+    #[test]
+    fn random_topology_connected_and_named() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = random_topology(15, 0.2, &mut rng).unwrap();
+        assert_eq!(r.len(), 15);
+        assert!(r.name().starts_with("random("));
+    }
+
+    #[test]
+    fn invalid_parameters_error() {
+        assert!(mesh2d(0, 3).is_err());
+        assert!(torus2d(3, 0).is_err());
+        assert!(chain(0).is_err());
+        assert!(star(0).is_err());
+        assert!(binary_tree(0).is_err());
+        assert!(complete(0).is_err());
+        assert!(hypercube(40).is_err());
+    }
+}

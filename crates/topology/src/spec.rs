@@ -1,0 +1,164 @@
+//! Serializable topology descriptions, so experiment configurations can
+//! be written down (and re-run) as data. Each [`TopologySpec`] builds the
+//! corresponding [`SystemGraph`].
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use mimd_graph::error::GraphError;
+
+use crate::builders;
+use crate::system::SystemGraph;
+
+/// A declarative description of a system topology.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum TopologySpec {
+    /// Binary hypercube of the given dimension (`2^dim` processors).
+    Hypercube {
+        /// Dimension `d`; the system has `2^d` nodes.
+        dim: u32,
+    },
+    /// 2-D mesh.
+    Mesh {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// 2-D torus.
+    Torus {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// Cycle of `n` processors.
+    Ring {
+        /// Node count (≥ 3).
+        n: usize,
+    },
+    /// Path of `n` processors.
+    Chain {
+        /// Node count (≥ 1).
+        n: usize,
+    },
+    /// Hub-and-spokes on `n` processors.
+    Star {
+        /// Node count (≥ 1).
+        n: usize,
+    },
+    /// Complete binary tree on `n` processors.
+    BinaryTree {
+        /// Node count (≥ 1).
+        n: usize,
+    },
+    /// Fully connected system (the closure itself).
+    Complete {
+        /// Node count (≥ 1).
+        n: usize,
+    },
+    /// Random connected graph: spanning tree + extra edges w.p. `p`.
+    Random {
+        /// Node count (≥ 1).
+        n: usize,
+        /// Probability of each additional edge beyond the spanning tree.
+        p: f64,
+    },
+}
+
+impl TopologySpec {
+    /// Number of processors this spec will produce.
+    pub fn node_count(&self) -> usize {
+        match *self {
+            TopologySpec::Hypercube { dim } => 1usize << dim,
+            TopologySpec::Mesh { rows, cols } | TopologySpec::Torus { rows, cols } => rows * cols,
+            TopologySpec::Ring { n }
+            | TopologySpec::Chain { n }
+            | TopologySpec::Star { n }
+            | TopologySpec::BinaryTree { n }
+            | TopologySpec::Complete { n }
+            | TopologySpec::Random { n, .. } => n,
+        }
+    }
+
+    /// Build the topology. Only [`TopologySpec::Random`] consumes the RNG;
+    /// the deterministic shapes ignore it.
+    pub fn build(&self, rng: &mut impl Rng) -> Result<SystemGraph, GraphError> {
+        match *self {
+            TopologySpec::Hypercube { dim } => builders::hypercube(dim),
+            TopologySpec::Mesh { rows, cols } => builders::mesh2d(rows, cols),
+            TopologySpec::Torus { rows, cols } => builders::torus2d(rows, cols),
+            TopologySpec::Ring { n } => builders::ring(n),
+            TopologySpec::Chain { n } => builders::chain(n),
+            TopologySpec::Star { n } => builders::star(n),
+            TopologySpec::BinaryTree { n } => builders::binary_tree(n),
+            TopologySpec::Complete { n } => builders::complete(n),
+            TopologySpec::Random { n, p } => builders::random_topology(n, p, rng),
+        }
+    }
+}
+
+impl std::fmt::Display for TopologySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            TopologySpec::Hypercube { dim } => write!(f, "hypercube(d={dim})"),
+            TopologySpec::Mesh { rows, cols } => write!(f, "mesh({rows}x{cols})"),
+            TopologySpec::Torus { rows, cols } => write!(f, "torus({rows}x{cols})"),
+            TopologySpec::Ring { n } => write!(f, "ring({n})"),
+            TopologySpec::Chain { n } => write!(f, "chain({n})"),
+            TopologySpec::Star { n } => write!(f, "star({n})"),
+            TopologySpec::BinaryTree { n } => write!(f, "btree({n})"),
+            TopologySpec::Complete { n } => write!(f, "complete({n})"),
+            TopologySpec::Random { n, p } => write!(f, "random({n},p={p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn node_counts_match_builds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let specs = [
+            TopologySpec::Hypercube { dim: 3 },
+            TopologySpec::Mesh { rows: 2, cols: 5 },
+            TopologySpec::Torus { rows: 3, cols: 3 },
+            TopologySpec::Ring { n: 6 },
+            TopologySpec::Chain { n: 4 },
+            TopologySpec::Star { n: 7 },
+            TopologySpec::BinaryTree { n: 9 },
+            TopologySpec::Complete { n: 5 },
+            TopologySpec::Random { n: 11, p: 0.25 },
+        ];
+        for spec in specs {
+            let built = spec.build(&mut rng).unwrap();
+            assert_eq!(built.len(), spec.node_count(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(
+            TopologySpec::Hypercube { dim: 4 }.to_string(),
+            "hypercube(d=4)"
+        );
+        assert_eq!(
+            TopologySpec::Mesh { rows: 4, cols: 10 }.to_string(),
+            "mesh(4x10)"
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let spec = TopologySpec::Random { n: 12, p: 0.3 };
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("random"));
+        let back: TopologySpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

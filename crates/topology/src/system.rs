@@ -1,0 +1,185 @@
+//! [`SystemGraph`]: a validated, connected processor topology together
+//! with the cached matrices the mapping algorithms read on every
+//! evaluation.
+
+use serde::{Deserialize, Serialize};
+
+use mimd_graph::apsp::DistanceMatrix;
+use mimd_graph::error::GraphError;
+use mimd_graph::properties::is_connected;
+use mimd_graph::ungraph::UnGraph;
+use mimd_graph::NodeId;
+
+/// A connected MIMD interconnection topology with precomputed shortest
+/// paths and degrees.
+///
+/// The paper's evaluator multiplies every clustered-edge weight by
+/// `shortest[vs_l][vs_m]` (§4.3.4 Algorithm I); caching the BFS results
+/// here keeps each total-time evaluation at the paper's `O(np²)`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SystemGraph {
+    name: String,
+    graph: UnGraph,
+    distances: DistanceMatrix,
+    degrees: Vec<usize>,
+}
+
+impl SystemGraph {
+    /// Wrap a topology, validating that it is connected and non-empty.
+    pub fn new(name: impl Into<String>, graph: UnGraph) -> Result<Self, GraphError> {
+        if graph.node_count() == 0 {
+            return Err(GraphError::InvalidParameter(
+                "system graph needs >= 1 node".into(),
+            ));
+        }
+        if !is_connected(&graph) {
+            return Err(GraphError::Disconnected);
+        }
+        let distances = DistanceMatrix::bfs_all_pairs(&graph)?;
+        let degrees = graph.degree_vector();
+        Ok(SystemGraph {
+            name: name.into(),
+            graph,
+            distances,
+            degrees,
+        })
+    }
+
+    /// Human-readable topology name (e.g. `"hypercube(d=3)"`), used in
+    /// reports.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of processors `ns`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// `true` iff the system has zero processors (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.graph.node_count() == 0
+    }
+
+    /// The underlying adjacency structure (the paper's `sys_edge`).
+    #[inline]
+    pub fn graph(&self) -> &UnGraph {
+        &self.graph
+    }
+
+    /// The all-pairs hop-count matrix (the paper's `shortest[ns][ns]`).
+    #[inline]
+    pub fn distances(&self) -> &DistanceMatrix {
+        &self.distances
+    }
+
+    /// Hop count between processors `u` and `v`.
+    #[inline]
+    pub fn hops(&self, u: NodeId, v: NodeId) -> u32 {
+        self.distances.hops(u, v)
+    }
+
+    /// Degree of processor `u` (the paper's `deg[u]`).
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.degrees[u]
+    }
+
+    /// All degrees (the paper's `deg[ns]` matrix).
+    pub fn degrees(&self) -> &[usize] {
+        &self.degrees
+    }
+
+    /// `true` iff processors `u` and `v` share a physical link.
+    #[inline]
+    pub fn adjacent(&self, u: NodeId, v: NodeId) -> bool {
+        self.graph.has_edge(u, v)
+    }
+
+    /// Network diameter in hops.
+    pub fn diameter(&self) -> u32 {
+        self.distances.diameter()
+    }
+
+    /// The closure of this topology (complete graph on the same
+    /// processors) — mapping onto it yields the paper's *ideal graph*.
+    pub fn closure(&self) -> SystemGraph {
+        SystemGraph::new(format!("{}-closure", self.name), self.graph.closure())
+            .expect("closure of a nonempty graph is connected")
+    }
+
+    /// Processor ids sorted by descending degree, ties by ascending id —
+    /// the order in which the initial assignment consumes processors.
+    pub fn by_descending_degree(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = (0..self.len()).collect();
+        ids.sort_by_key(|&u| (std::cmp::Reverse(self.degrees[u]), u));
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring4() -> SystemGraph {
+        let mut g = UnGraph::new(4);
+        for i in 0..4 {
+            g.add_edge(i, (i + 1) % 4).unwrap();
+        }
+        SystemGraph::new("ring4", g).unwrap()
+    }
+
+    #[test]
+    fn caches_match_paper_fig21() {
+        let s = ring4();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.degrees(), &[2, 2, 2, 2]);
+        assert_eq!(s.hops(0, 2), 2);
+        assert_eq!(s.hops(0, 1), 1);
+        assert_eq!(s.diameter(), 2);
+        assert!(s.adjacent(3, 0));
+        assert!(!s.adjacent(0, 2));
+    }
+
+    #[test]
+    fn rejects_disconnected_and_empty() {
+        let mut g = UnGraph::new(3);
+        g.add_edge(0, 1).unwrap();
+        assert!(matches!(
+            SystemGraph::new("bad", g),
+            Err(GraphError::Disconnected)
+        ));
+        assert!(SystemGraph::new("empty", UnGraph::new(0)).is_err());
+    }
+
+    #[test]
+    fn closure_has_unit_distances() {
+        let c = ring4().closure();
+        for u in 0..4 {
+            for v in 0..4 {
+                assert_eq!(c.hops(u, v), u32::from(u != v));
+            }
+        }
+        assert!(c.name().contains("closure"));
+    }
+
+    #[test]
+    fn descending_degree_order() {
+        let mut g = UnGraph::new(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g.add_edge(1, 3).unwrap();
+        g.add_edge(2, 3).unwrap();
+        let s = SystemGraph::new("t", g).unwrap();
+        // degrees: 0->1, 1->3, 2->2, 3->2
+        assert_eq!(s.by_descending_degree(), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn singleton_system_is_valid() {
+        let s = SystemGraph::new("one", UnGraph::new(1)).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.diameter(), 0);
+    }
+}

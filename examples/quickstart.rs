@@ -1,0 +1,92 @@
+//! Quickstart: map a random parallel program onto a hypercube.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! The five-minute tour: generate a random task DAG, cluster it to the
+//! machine size, run the paper's mapping strategy, and compare the
+//! result against random placement and the provable lower bound.
+
+use mimd::core::evaluate::random_mapping_average;
+use mimd::core::schedule::EvaluationModel;
+use mimd::core::Mapper;
+use mimd::taskgraph::clustering::region::random_region_clustering;
+use mimd::taskgraph::{ClusteredProblemGraph, GeneratorConfig, LayeredDagGenerator};
+use mimd::topology::hypercube;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // 1. A parallel program: 96 tasks with random weights, layered
+    //    dependencies, stencil-like locality.
+    let generator = LayeredDagGenerator::new(GeneratorConfig {
+        tasks: 96,
+        avg_width: 8,
+        locality_window: Some(1),
+        ..GeneratorConfig::default()
+    })
+    .expect("valid generator config");
+    let program = generator.generate(&mut rng);
+    println!(
+        "program: {} tasks, {} dependencies, sequential time {}",
+        program.len(),
+        program.graph().edge_count(),
+        program.sequential_time()
+    );
+
+    // 2. The machine: a 3-dimensional hypercube (8 processors).
+    let machine = hypercube(3).expect("hypercube builds");
+    println!(
+        "machine: {} ({} processors, diameter {})",
+        machine.name(),
+        machine.len(),
+        machine.diameter()
+    );
+
+    // 3. Cluster the program down to 8 groups (the paper assumes an
+    //    existing clustering front-end; here: random contiguous regions).
+    let clustering = random_region_clustering(&program, machine.len(), &mut rng).unwrap();
+    let clustered = ClusteredProblemGraph::new(program, clustering).unwrap();
+    println!(
+        "clustered: {} clusters, {} cross-cluster edges",
+        clustered.num_clusters(),
+        clustered.cross_edges().count()
+    );
+
+    // 4. Map with the paper's strategy.
+    let result = Mapper::new().map(&clustered, &machine, &mut rng).unwrap();
+    println!(
+        "\nmapping: total time {} vs lower bound {} ({:.1}% over)",
+        result.total_time,
+        result.lower_bound,
+        result.percent_over_lower_bound() - 100.0
+    );
+    println!(
+        "refinement: {} iterations, early termination: {}",
+        result.refinement.iterations_used, result.refinement.reached_lower_bound
+    );
+    for cluster in 0..machine.len() {
+        println!(
+            "  cluster {cluster} -> processor {}",
+            result.assignment.sys_of(cluster)
+        );
+    }
+
+    // 5. How much did the strategy buy us over random placement?
+    let (random_mean, _, _) = random_mapping_average(
+        &clustered,
+        &machine,
+        EvaluationModel::Precedence,
+        32,
+        &mut rng,
+    )
+    .unwrap();
+    println!(
+        "\nrandom mapping averages {:.1} time units — the strategy saves {:.1}%",
+        random_mean,
+        100.0 * (random_mean - result.total_time as f64) / random_mean
+    );
+}

@@ -1,0 +1,88 @@
+//! A stencil sweep across machine topologies — the finite-element-style
+//! workload of the paper's citation [7] (Sadayappan & Ercal,
+//! "Nearest-Neighbor Mapping of Finite Element Graphs onto Processor
+//! Meshes").
+//!
+//! ```text
+//! cargo run --example stencil_pipeline
+//! ```
+//!
+//! A 1-D stencil iterated over time maps naturally onto a chain of
+//! processors; this example quantifies how much topology matters by
+//! mapping the same clustered stencil onto a chain, ring, mesh, star,
+//! hypercube and complete graph, and shows the §2.2 lesson in action:
+//! the strategy optimizes *total time*, not an indirect proxy.
+
+use mimd::core::evaluate::random_mapping_average;
+use mimd::core::schedule::EvaluationModel;
+use mimd::core::Mapper;
+use mimd::report::Table;
+use mimd::taskgraph::clustering::region::random_region_clustering;
+use mimd::taskgraph::workloads::stencil_1d;
+use mimd::taskgraph::ClusteredProblemGraph;
+use mimd::topology::{chain, complete, hypercube, mesh2d, ring, star, SystemGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(5);
+    // 16 cells × 8 time steps; compute dominates, messages are light.
+    let program = stencil_1d(16, 8, 6, 2).unwrap();
+    println!(
+        "stencil: {} tasks, {} edges, sequential time {}\n",
+        program.len(),
+        program.graph().edge_count(),
+        program.sequential_time()
+    );
+
+    let machines: Vec<SystemGraph> = vec![
+        chain(8).unwrap(),
+        ring(8).unwrap(),
+        mesh2d(2, 4).unwrap(),
+        star(8).unwrap(),
+        hypercube(3).unwrap(),
+        complete(8).unwrap(),
+    ];
+
+    let mut table = Table::new(
+        "stencil_1d(16, 8) on 8-processor topologies",
+        &[
+            "topology",
+            "diameter",
+            "lower bound",
+            "strategy",
+            "% over LB",
+            "random mean",
+            "early stop",
+        ],
+    );
+    for machine in &machines {
+        let clustering = random_region_clustering(&program, machine.len(), &mut rng).unwrap();
+        let clustered = ClusteredProblemGraph::new(program.clone(), clustering).unwrap();
+        let result = Mapper::new().map(&clustered, machine, &mut rng).unwrap();
+        let (rand_mean, _, _) = random_mapping_average(
+            &clustered,
+            machine,
+            EvaluationModel::Precedence,
+            32,
+            &mut rng,
+        )
+        .unwrap();
+        table.push_row(vec![
+            machine.name().to_string(),
+            machine.diameter().to_string(),
+            result.lower_bound.to_string(),
+            result.total_time.to_string(),
+            format!("{:.1}", result.percent_over_lower_bound() - 100.0),
+            format!("{rand_mean:.1}"),
+            if result.refinement.reached_lower_bound {
+                "yes".into()
+            } else {
+                "no".into()
+            },
+        ]);
+    }
+    println!("{}", table.render());
+    println!("the complete graph always achieves the lower bound (it IS the closure);");
+    println!("low-diameter topologies come close, the star pays for its central bottleneck.");
+}

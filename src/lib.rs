@@ -1,0 +1,8 @@
+//! Facade crate: re-exports the whole MIMD mapping-strategy workspace.
+pub use mimd_baselines as baselines;
+pub use mimd_core as core;
+pub use mimd_graph as graph;
+pub use mimd_report as report;
+pub use mimd_sim as sim;
+pub use mimd_taskgraph as taskgraph;
+pub use mimd_topology as topology;

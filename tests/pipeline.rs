@@ -1,0 +1,196 @@
+//! End-to-end integration tests: every crate in one pipeline.
+
+use mimd::core::evaluate::{evaluate_assignment, random_mapping_average};
+use mimd::core::schedule::EvaluationModel;
+use mimd::core::{Assignment, Mapper, MapperConfig};
+use mimd::sim::{simulate, SimConfig};
+use mimd::taskgraph::clustering::comm_greedy::comm_greedy_clustering;
+use mimd::taskgraph::clustering::load_balance::load_balanced_clustering;
+use mimd::taskgraph::clustering::region::random_region_clustering;
+use mimd::taskgraph::workloads;
+use mimd::taskgraph::{ClusteredProblemGraph, GeneratorConfig, LayeredDagGenerator};
+use mimd::topology::{binary_tree, chain, complete, hypercube, mesh2d, ring, star, torus2d};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_instance(np: usize, ns: usize, seed: u64) -> ClusteredProblemGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gen = LayeredDagGenerator::new(GeneratorConfig {
+        tasks: np,
+        locality_window: Some(2),
+        ..GeneratorConfig::default()
+    })
+    .unwrap();
+    let p = gen.generate(&mut rng);
+    let c = random_region_clustering(&p, ns, &mut rng).unwrap();
+    ClusteredProblemGraph::new(p, c).unwrap()
+}
+
+#[test]
+fn full_pipeline_on_every_topology_family() {
+    let systems = vec![
+        hypercube(3).unwrap(),
+        mesh2d(2, 4).unwrap(),
+        torus2d(2, 4).unwrap(),
+        ring(8).unwrap(),
+        chain(8).unwrap(),
+        star(8).unwrap(),
+        binary_tree(8).unwrap(),
+        complete(8).unwrap(),
+    ];
+    for (i, system) in systems.iter().enumerate() {
+        let graph = random_instance(64, 8, 100 + i as u64);
+        let mut rng = StdRng::seed_from_u64(i as u64);
+        let result = Mapper::new().map(&graph, system, &mut rng).unwrap();
+        assert!(
+            result.total_time >= result.lower_bound,
+            "{}: total below lower bound",
+            system.name()
+        );
+        assert!(
+            result.total_time <= result.initial_total,
+            "{}",
+            system.name()
+        );
+        // The final assignment is a bijection.
+        let mut seen = vec![false; 8];
+        for c in 0..8 {
+            let s = result.assignment.sys_of(c);
+            assert!(!seen[s], "{}: processor used twice", system.name());
+            seen[s] = true;
+        }
+    }
+}
+
+#[test]
+fn complete_topology_always_reaches_lower_bound() {
+    // The complete graph IS the closure, so Theorem 3 applies directly.
+    for seed in 0..5 {
+        let graph = random_instance(50, 6, seed);
+        let system = complete(6).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = Mapper::new().map(&graph, &system, &mut rng).unwrap();
+        assert!(result.is_provably_optimal(), "seed {seed}");
+        assert_eq!(
+            result.refinement.iterations_used, 0,
+            "termination fires before refining"
+        );
+    }
+}
+
+#[test]
+fn strategy_beats_random_mapping_across_workloads() {
+    let machine = hypercube(3).unwrap();
+    let programs = vec![
+        workloads::gaussian_elimination(10, 3, 5, 2).unwrap(),
+        workloads::stencil_1d(12, 6, 5, 2).unwrap(),
+        workloads::fft_butterfly(4, 4, 2).unwrap(),
+        workloads::divide_and_conquer(4, 1, 6, 2, 2).unwrap(),
+        workloads::pipeline(4, 16, 4, 3).unwrap(),
+    ];
+    let mut wins = 0;
+    let mut total = 0;
+    for (i, program) in programs.into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(10 + i as u64);
+        let clustering = random_region_clustering(&program, 8, &mut rng).unwrap();
+        let graph = ClusteredProblemGraph::new(program, clustering).unwrap();
+        let result = Mapper::new().map(&graph, &machine, &mut rng).unwrap();
+        let (mean, _, _) =
+            random_mapping_average(&graph, &machine, EvaluationModel::Precedence, 24, &mut rng)
+                .unwrap();
+        total += 1;
+        if (result.total_time as f64) <= mean {
+            wins += 1;
+        }
+    }
+    assert_eq!(
+        wins, total,
+        "strategy should beat the random-mapping mean on every workload"
+    );
+}
+
+#[test]
+fn simulator_confirms_analytic_totals_for_mapped_workloads() {
+    let machine = mesh2d(3, 3).unwrap();
+    for seed in 0..4 {
+        let graph = random_instance(72, 9, 40 + seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = Mapper::new().map(&graph, &machine, &mut rng).unwrap();
+        let des = simulate(&graph, &machine, &result.assignment, SimConfig::paper()).unwrap();
+        assert_eq!(des.total, result.total_time, "seed {seed}");
+        // Realistic extensions only lengthen the schedule.
+        let realistic =
+            simulate(&graph, &machine, &result.assignment, SimConfig::realistic()).unwrap();
+        assert!(realistic.total >= des.total);
+    }
+}
+
+#[test]
+fn clustering_front_ends_compose_with_the_mapper() {
+    let program = workloads::gaussian_elimination(10, 3, 5, 2).unwrap();
+    let machine = hypercube(3).unwrap();
+    let mut rng = StdRng::seed_from_u64(77);
+    let clusterings = vec![
+        random_region_clustering(&program, 8, &mut rng).unwrap(),
+        comm_greedy_clustering(&program, 8, 1.5).unwrap(),
+        load_balanced_clustering(&program, 8).unwrap(),
+    ];
+    for clustering in clusterings {
+        let graph = ClusteredProblemGraph::new(program.clone(), clustering).unwrap();
+        let result = Mapper::new().map(&graph, &machine, &mut rng).unwrap();
+        assert!(result.total_time >= result.lower_bound);
+    }
+}
+
+#[test]
+fn serialized_model_pipeline_is_consistent() {
+    let graph = random_instance(48, 8, 7);
+    let machine = hypercube(3).unwrap();
+    let config = MapperConfig {
+        model: EvaluationModel::Serialized,
+        ..MapperConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let result = Mapper::with_config(config)
+        .map(&graph, &machine, &mut rng)
+        .unwrap();
+    // Serialized totals from the DES agree with the analytic serialized
+    // evaluation of the same assignment.
+    let analytic = evaluate_assignment(
+        &graph,
+        &machine,
+        &result.assignment,
+        EvaluationModel::Serialized,
+    )
+    .unwrap();
+    let des = simulate(
+        &graph,
+        &machine,
+        &result.assignment,
+        SimConfig {
+            serialize_processors: true,
+            link_contention: false,
+        },
+    )
+    .unwrap();
+    assert_eq!(analytic.total(), des.total);
+    assert_eq!(analytic.total(), result.total_time);
+}
+
+#[test]
+fn identity_and_random_assignments_evaluate_consistently() {
+    let graph = random_instance(40, 5, 9);
+    let machine = ring(5).unwrap();
+    let identity = Assignment::identity(5);
+    let e1 = evaluate_assignment(&graph, &machine, &identity, EvaluationModel::Precedence).unwrap();
+    let e2 = evaluate_assignment(&graph, &machine, &identity, EvaluationModel::Precedence).unwrap();
+    assert_eq!(e1.total(), e2.total(), "evaluation is a pure function");
+    // Every task ends after it starts by exactly its size.
+    for t in 0..graph.num_tasks() {
+        assert_eq!(
+            e1.schedule.end(t) - e1.schedule.start(t),
+            graph.problem().size(t),
+            "task {t}"
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Workload-level integration tests: each structured workload maps
+//! sensibly onto its natural topology, and topology/workload affinity
+//! behaves as HPC folklore predicts.
+
+use mimd::core::evaluate::evaluate_assignment;
+use mimd::core::schedule::EvaluationModel;
+use mimd::core::{IdealSchedule, Mapper};
+use mimd::sim::{simulate, simulate_heterogeneous, SimConfig};
+use mimd::taskgraph::clustering::comm_greedy::comm_greedy_clustering;
+use mimd::taskgraph::workloads;
+use mimd::taskgraph::ClusteredProblemGraph;
+use mimd::topology::{chain, hypercube, ring, SystemGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cluster_onto(
+    program: &mimd::taskgraph::ProblemGraph,
+    system: &SystemGraph,
+) -> ClusteredProblemGraph {
+    let clustering = comm_greedy_clustering(program, system.len(), 1.5).unwrap();
+    ClusteredProblemGraph::new(program.clone(), clustering).unwrap()
+}
+
+#[test]
+fn fft_prefers_the_hypercube_over_the_chain() {
+    // The butterfly's communication pattern IS the hypercube; a chain
+    // stretches the long-range stages.
+    let program = workloads::fft_butterfly(3, 3, 4).unwrap();
+    let cube = hypercube(3).unwrap();
+    let line = chain(8).unwrap();
+    let mut totals = Vec::new();
+    for machine in [&cube, &line] {
+        let graph = cluster_onto(&program, machine);
+        let mut rng = StdRng::seed_from_u64(3);
+        let result = Mapper::new().map(&graph, machine, &mut rng).unwrap();
+        totals.push(result.total_time);
+    }
+    assert!(
+        totals[0] <= totals[1],
+        "hypercube {} should beat chain {}",
+        totals[0],
+        totals[1]
+    );
+}
+
+#[test]
+fn stencil_maps_near_optimally_on_the_ring() {
+    // A 1-D stencil's cluster graph is a chain; a ring hosts a chain at
+    // dilation 1, so the strategy should land at (or very near) the
+    // lower bound.
+    let program = workloads::stencil_1d(16, 6, 8, 1).unwrap();
+    let machine = ring(8).unwrap();
+    let graph = cluster_onto(&program, &machine);
+    let mut rng = StdRng::seed_from_u64(4);
+    let result = Mapper::new().map(&graph, &machine, &mut rng).unwrap();
+    assert!(
+        result.percent_over_lower_bound() <= 115.0,
+        "stencil on ring should be near the bound, got {:.1}%",
+        result.percent_over_lower_bound()
+    );
+}
+
+#[test]
+fn gaussian_elimination_lower_bound_grows_quadratically_enough() {
+    // Sanity on the workload generator itself: the GE ideal schedule is
+    // dominated by the sequential pivot chain.
+    let small = workloads::gaussian_elimination(6, 2, 3, 1).unwrap();
+    let large = workloads::gaussian_elimination(12, 2, 3, 1).unwrap();
+    assert!(large.critical_path() > small.critical_path());
+    assert!(large.len() > small.len() * 3);
+}
+
+#[test]
+fn divide_and_conquer_balances_across_processors() {
+    let program = workloads::divide_and_conquer(3, 1, 9, 1, 1).unwrap();
+    let machine = hypercube(3).unwrap();
+    let graph = cluster_onto(&program, &machine);
+    let mut rng = StdRng::seed_from_u64(5);
+    let result = Mapper::new().map(&graph, &machine, &mut rng).unwrap();
+    // 8 leaves of weight 9 on 8 processors: the serialized model must
+    // still fit well under fully-sequential execution.
+    let serialized = evaluate_assignment(
+        &graph,
+        &machine,
+        &result.assignment,
+        EvaluationModel::Serialized,
+    )
+    .unwrap();
+    assert!(serialized.total() < graph.problem().sequential_time());
+}
+
+#[test]
+fn pipeline_throughput_degrades_gracefully_with_slow_processors() {
+    let program = workloads::pipeline(4, 16, 3, 1).unwrap();
+    let machine = ring(4).unwrap();
+    let graph = cluster_onto(&program, &machine);
+    let mut rng = StdRng::seed_from_u64(6);
+    let result = Mapper::new().map(&graph, &machine, &mut rng).unwrap();
+    let base = simulate(&graph, &machine, &result.assignment, SimConfig::paper()).unwrap();
+    let mut prev = base.total;
+    for factor in [2u32, 4, 8] {
+        let mut slow = vec![1u32; 4];
+        slow[0] = factor;
+        let het = simulate_heterogeneous(
+            &graph,
+            &machine,
+            &result.assignment,
+            SimConfig::paper(),
+            &slow,
+        )
+        .unwrap();
+        assert!(het.total >= prev, "factor {factor} regressed");
+        prev = het.total;
+    }
+}
+
+#[test]
+fn ideal_bound_is_tight_for_embarrassingly_parallel_work() {
+    // No cross edges at all: the clustered graph's lower bound equals
+    // the longest single chain, and every mapping achieves it.
+    let program = workloads::pipeline(1, 12, 5, 1).unwrap(); // a single chain
+    let machine = ring(4).unwrap();
+    let clustering = mimd::taskgraph::clustering::chains::chain_clustering(&program, 4).unwrap();
+    let graph = ClusteredProblemGraph::new(program, clustering).unwrap();
+    let ideal = IdealSchedule::derive(&graph);
+    let mut rng = StdRng::seed_from_u64(7);
+    let result = Mapper::new().map(&graph, &machine, &mut rng).unwrap();
+    assert!(result.total_time >= ideal.lower_bound());
+}

@@ -1,0 +1,273 @@
+//! A uniform trait-object surface over every baseline mapper, so batch
+//! drivers (the `mimd-engine` crate, portfolio sweeps) can dispatch any
+//! algorithm through one interface.
+
+use rand::rngs::StdRng;
+
+use mimd_core::evaluate::evaluate_assignment;
+use mimd_core::schedule::EvaluationModel;
+use mimd_core::Assignment;
+use mimd_graph::error::GraphError;
+use mimd_graph::Time;
+use mimd_taskgraph::ClusteredProblemGraph;
+use mimd_topology::SystemGraph;
+
+use crate::annealing::{simulated_annealing, AnnealingSchedule};
+use crate::bokhari::bokhari_mapping;
+use crate::lee::{lee_mapping, phases_by_level};
+use crate::pairwise::pairwise_exchange;
+use crate::random_map::best_of_random;
+
+/// What every algorithm reports back: a placement, its paper-model
+/// total time, and how much work was spent finding it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlgorithmOutcome {
+    /// The cluster→processor placement found.
+    pub assignment: Assignment,
+    /// Total execution time of the placement under the precedence model.
+    pub total: Time,
+    /// Schedule evaluations (or equivalent unit of search effort) spent.
+    pub evaluations: usize,
+}
+
+/// A mapping algorithm that can be driven uniformly by a batch engine.
+///
+/// Implementations must be deterministic for a fixed seed: the RNG is
+/// the only source of randomness.
+pub trait MappingAlgorithm: Send + Sync {
+    /// Stable machine-readable name (used in job specs and reports).
+    fn name(&self) -> &'static str;
+
+    /// Run on one instance. `lower_bound` is the ideal-graph bound, for
+    /// algorithms with early-termination conditions.
+    fn run(
+        &self,
+        graph: &ClusteredProblemGraph,
+        system: &SystemGraph,
+        lower_bound: Time,
+        rng: &mut StdRng,
+    ) -> Result<AlgorithmOutcome, GraphError>;
+}
+
+/// Re-evaluate `assignment` under the precedence model so every
+/// algorithm's `total` is comparable, whatever its internal objective.
+fn precedence_total(
+    graph: &ClusteredProblemGraph,
+    system: &SystemGraph,
+    assignment: &Assignment,
+) -> Result<Time, GraphError> {
+    Ok(evaluate_assignment(graph, system, assignment, EvaluationModel::Precedence)?.total())
+}
+
+/// Best of `k` uniformly random placements (the paper's §5 baseline).
+#[derive(Clone, Debug)]
+pub struct RandomSearch {
+    /// Number of random draws.
+    pub k: usize,
+}
+
+impl MappingAlgorithm for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn run(
+        &self,
+        graph: &ClusteredProblemGraph,
+        system: &SystemGraph,
+        _lower_bound: Time,
+        rng: &mut StdRng,
+    ) -> Result<AlgorithmOutcome, GraphError> {
+        let (assignment, total) =
+            best_of_random(graph, system, EvaluationModel::Precedence, self.k, rng)?;
+        Ok(AlgorithmOutcome {
+            assignment,
+            total,
+            evaluations: self.k,
+        })
+    }
+}
+
+/// Bokhari's cardinality maximization with probabilistic jumps.
+#[derive(Clone, Debug)]
+pub struct Bokhari {
+    /// Number of jump rounds after each local maximum.
+    pub jumps: usize,
+}
+
+impl MappingAlgorithm for Bokhari {
+    fn name(&self) -> &'static str {
+        "bokhari"
+    }
+
+    fn run(
+        &self,
+        graph: &ClusteredProblemGraph,
+        system: &SystemGraph,
+        _lower_bound: Time,
+        rng: &mut StdRng,
+    ) -> Result<AlgorithmOutcome, GraphError> {
+        let result = bokhari_mapping(graph, system, self.jumps, rng)?;
+        let total = precedence_total(graph, system, &result.assignment)?;
+        Ok(AlgorithmOutcome {
+            assignment: result.assignment,
+            total,
+            evaluations: result.passes,
+        })
+    }
+}
+
+/// Lee & Aggarwal's phased-communication-cost minimization.
+#[derive(Clone, Debug)]
+pub struct LeeAggarwal {
+    /// Random restarts.
+    pub restarts: usize,
+}
+
+impl MappingAlgorithm for LeeAggarwal {
+    fn name(&self) -> &'static str {
+        "lee"
+    }
+
+    fn run(
+        &self,
+        graph: &ClusteredProblemGraph,
+        system: &SystemGraph,
+        _lower_bound: Time,
+        rng: &mut StdRng,
+    ) -> Result<AlgorithmOutcome, GraphError> {
+        let phases = phases_by_level(graph);
+        let result = lee_mapping(graph, system, &phases, self.restarts, rng)?;
+        let total = precedence_total(graph, system, &result.assignment)?;
+        Ok(AlgorithmOutcome {
+            assignment: result.assignment,
+            total,
+            evaluations: result.passes,
+        })
+    }
+}
+
+/// Simulated annealing on total time.
+#[derive(Clone, Debug)]
+pub struct Annealing {
+    /// The cooling schedule.
+    pub schedule: AnnealingSchedule,
+}
+
+impl MappingAlgorithm for Annealing {
+    fn name(&self) -> &'static str {
+        "annealing"
+    }
+
+    fn run(
+        &self,
+        graph: &ClusteredProblemGraph,
+        system: &SystemGraph,
+        lower_bound: Time,
+        rng: &mut StdRng,
+    ) -> Result<AlgorithmOutcome, GraphError> {
+        let out = simulated_annealing(
+            graph,
+            system,
+            None,
+            lower_bound,
+            &self.schedule,
+            EvaluationModel::Precedence,
+            rng,
+        )?;
+        Ok(AlgorithmOutcome {
+            assignment: out.assignment,
+            total: out.total,
+            evaluations: out.evaluations,
+        })
+    }
+}
+
+/// Best-improvement pairwise exchange from a random start.
+#[derive(Clone, Debug)]
+pub struct PairwiseExchange {
+    /// Evaluation budget.
+    pub max_evaluations: usize,
+}
+
+impl MappingAlgorithm for PairwiseExchange {
+    fn name(&self) -> &'static str {
+        "pairwise"
+    }
+
+    fn run(
+        &self,
+        graph: &ClusteredProblemGraph,
+        system: &SystemGraph,
+        lower_bound: Time,
+        rng: &mut StdRng,
+    ) -> Result<AlgorithmOutcome, GraphError> {
+        let start = Assignment::random(system.len(), rng);
+        let pinned = vec![false; system.len()];
+        let out = pairwise_exchange(
+            graph,
+            system,
+            &start,
+            &pinned,
+            lower_bound,
+            self.max_evaluations,
+            EvaluationModel::Precedence,
+        )?;
+        Ok(AlgorithmOutcome {
+            assignment: out.assignment,
+            total: out.total,
+            evaluations: out.evaluations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimd_core::IdealSchedule;
+    use mimd_taskgraph::paper;
+    use mimd_topology::ring;
+    use rand::SeedableRng;
+
+    fn all_algorithms() -> Vec<Box<dyn MappingAlgorithm>> {
+        vec![
+            Box::new(RandomSearch { k: 8 }),
+            Box::new(Bokhari { jumps: 4 }),
+            Box::new(LeeAggarwal { restarts: 3 }),
+            Box::new(Annealing {
+                schedule: AnnealingSchedule::quench(4),
+            }),
+            Box::new(PairwiseExchange {
+                max_evaluations: 64,
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_algorithm_runs_and_respects_the_lower_bound() {
+        let graph = paper::worked_example();
+        let system = ring(4).unwrap();
+        let lb = IdealSchedule::derive(&graph).lower_bound();
+        for algo in all_algorithms() {
+            let mut rng = StdRng::seed_from_u64(11);
+            let out = algo
+                .run(&graph, &system, lb, &mut rng)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
+            assert!(out.total >= lb, "{}", algo.name());
+            assert_eq!(out.assignment.len(), 4, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn trait_dispatch_is_deterministic_per_seed() {
+        let graph = paper::worked_example();
+        let system = ring(4).unwrap();
+        for algo in all_algorithms() {
+            let run = |seed: u64| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                algo.run(&graph, &system, 0, &mut rng).unwrap()
+            };
+            assert_eq!(run(5), run(5), "{}", algo.name());
+        }
+    }
+}

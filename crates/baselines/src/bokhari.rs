@@ -82,7 +82,7 @@ pub fn bokhari_mapping(
                     current.swap_clusters(a, b);
                     let c = cardinality(graph, system, &current);
                     current.swap_clusters(a, b);
-                    if c > cur_card && improved.map_or(true, |(_, _, ic)| c > ic) {
+                    if c > cur_card && improved.is_none_or(|(_, _, ic)| c > ic) {
                         improved = Some((a, b, c));
                     }
                 }

@@ -69,7 +69,7 @@ pub fn exhaustive_optimum(
         match evaluate_assignment(graph, system, &a, model) {
             Ok(eval) => {
                 let t = eval.total();
-                if best.as_ref().map_or(true, |&(_, bt)| t < bt) {
+                if best.as_ref().is_none_or(|&(_, bt)| t < bt) {
                     best = Some((perm.to_vec(), t));
                 }
             }

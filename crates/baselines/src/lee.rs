@@ -111,7 +111,7 @@ pub fn lee_mapping(
                     current.swap_clusters(a, b);
                     let c = lee_cost(graph, system, &current, phases);
                     current.swap_clusters(a, b);
-                    if c < cur && improvement.map_or(true, |(_, _, ic)| c < ic) {
+                    if c < cur && improvement.is_none_or(|(_, _, ic)| c < ic) {
                         improvement = Some((a, b, c));
                     }
                 }
@@ -122,7 +122,7 @@ pub fn lee_mapping(
             }
         }
         let cost = lee_cost(graph, system, &current, phases);
-        if best.as_ref().map_or(true, |&(_, bc)| cost < bc) {
+        if best.as_ref().is_none_or(|&(_, bc)| cost < bc) {
             best = Some((current, cost));
         }
     }

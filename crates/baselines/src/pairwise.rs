@@ -72,7 +72,7 @@ pub fn pairwise_exchange(
                 let t = evaluate_assignment(graph, system, &current, model)?.total();
                 current.swap_clusters(a, b);
                 evaluations += 1;
-                if t < current_total && best_swap.map_or(true, |(_, _, bt)| t < bt) {
+                if t < current_total && best_swap.is_none_or(|(_, _, bt)| t < bt) {
                     best_swap = Some((a, b, t));
                 }
             }

@@ -75,7 +75,7 @@ pub fn best_of_random(
     for _ in 0..k {
         let a = Assignment::random(system.len(), rng);
         let t = evaluate_assignment(graph, system, &a, model)?.total();
-        if best.as_ref().map_or(true, |&(_, bt)| t < bt) {
+        if best.as_ref().is_none_or(|&(_, bt)| t < bt) {
             best = Some((a, t));
         }
     }

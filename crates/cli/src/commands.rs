@@ -29,23 +29,43 @@ commands:
              [--greedy-clustering] [--serialized] [--gantt]
   simulate   (--tasks <n> | --workload <kind:params>) --spec <kind:params>
              [--seed <u64>] [--contention] [--serialize]
+  batch      <jobs.jsonl | -> [--threads <n>] [--summary] [--out <file>]
+             — run a JSONL stream of JobSpecs through the engine,
+               emitting one JobResult JSONL line per job (stdin with -)
+  sweep      --workloads <w1,w2,..> --specs <t1,t2,..>
+             [--algos <a1,a2,..>] [--seeds <n>] [--threads <n>]
+             [--clustering region|iid|sarkar|comm_greedy]
+             [--summary] [--out <file>]
+             — run the cross-product workloads × topologies × algorithms
+               × seeds through the engine
   paper      (no flags) — reproduce the worked example's artifacts
 
 topology specs : hypercube:3  mesh:3x4  torus:3x4  ring:8  chain:8
                  star:8  tree:15  complete:8  random:16@0.1
-workload specs : ge:12  stencil:16x8  fft:5  dnc:4  pipe:4x16";
+workload specs : ge:12  stencil:16x8  fft:5  dnc:4  pipe:4x16
+                 tasks:96  paper:120
+algorithms     : paper  random  bokhari  lee  annealing  pairwise";
 
 /// Route a command line to its handler.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
     let Some((cmd, rest)) = argv.split_first() else {
         return Err("no command given".into());
     };
+    if cmd == "batch" {
+        // `batch` takes a positional input path before its flags.
+        let (input, rest) = match rest.split_first() {
+            Some((input, rest)) if !input.starts_with("--") => (input.as_str(), rest),
+            _ => return Err("batch needs a jobs file ('-' for stdin)".into()),
+        };
+        return cmd_batch(input, &Flags::parse(rest)?);
+    }
     let flags = Flags::parse(rest)?;
     match cmd.as_str() {
         "generate" => cmd_generate(&flags),
         "topology" => cmd_topology(&flags),
         "map" => cmd_map(&flags),
         "simulate" => cmd_simulate(&flags),
+        "sweep" => cmd_sweep(&flags),
         "paper" => cmd_paper(&flags),
         other => Err(format!("unknown command '{other}'")),
     }
@@ -269,6 +289,158 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Shared tail of `batch` and `sweep`: run the jobs, stream JSONL
+/// results (to stdout or `--out`), and optionally print the aggregate
+/// summary table plus cache statistics. Jobs come in as a lazy
+/// iterator so large stdin batches are never fully buffered; an input
+/// parse error stops intake (already-emitted results stand) and is
+/// reported after the run.
+fn run_jobs_and_emit(
+    jobs: impl IntoIterator<Item = Result<mimd_engine::JobSpec, String>>,
+    flags: &Flags,
+    what: &str,
+) -> Result<(), String> {
+    use std::io::Write;
+
+    let threads = flags.num("threads", 0usize)?;
+    let engine = mimd_engine::Engine::new(mimd_engine::EngineConfig {
+        threads,
+        ..mimd_engine::EngineConfig::default()
+    });
+
+    let mut sink: Box<dyn Write> = match flags.get("out") {
+        Some(path) => Box::new(std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?),
+        None => Box::new(std::io::stdout().lock()),
+    };
+
+    let mut input_error: Option<String> = None;
+    let jobs = jobs.into_iter().map_while(|job| match job {
+        Ok(job) => Some(job),
+        Err(e) => {
+            input_error = Some(e);
+            None
+        }
+    });
+
+    let mut summary = mimd_report::BatchSummary::new();
+    let mut failures = 0usize;
+    let mut write_error: Option<std::io::Error> = None;
+    let cancel = engine.cancel_token();
+    let total = engine.run_stream(jobs, |result| {
+        if result.error.is_some() {
+            failures += 1;
+            summary.add_error(&result.algorithm, &result.topology);
+        } else {
+            summary.add(
+                &result.algorithm,
+                &result.topology,
+                result.percent_over_lower_bound,
+                result.optimal,
+            );
+        }
+        if write_error.is_none() {
+            if let Err(e) = mimd_engine::write_result(&mut sink, &result) {
+                // Stop computing jobs nobody will read.
+                cancel.cancel();
+                write_error = Some(e);
+            }
+        }
+    });
+    match write_error {
+        // Consumer closed the pipe (e.g. `mimd batch ... | head`):
+        // conventional clean stop, like any line-oriented unix tool.
+        Some(e) if e.kind() == std::io::ErrorKind::BrokenPipe => return Ok(()),
+        Some(e) => return Err(format!("writing results: {e}")),
+        None => {}
+    }
+    if let Err(e) = sink.flush() {
+        if e.kind() != std::io::ErrorKind::BrokenPipe {
+            return Err(format!("writing results: {e}"));
+        }
+        return Ok(());
+    }
+
+    let stats = engine.cache_stats();
+    eprintln!(
+        "{what}: {total} jobs ({failures} failed); topology cache: \
+         {} entries, {} hits, {} misses",
+        stats.entries, stats.hits, stats.misses
+    );
+    if flags.has("summary") {
+        eprintln!(
+            "{}",
+            summary.render_table(format!("{what} summary")).render()
+        );
+    }
+    match input_error {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+fn cmd_batch(input: &str, flags: &Flags) -> Result<(), String> {
+    flags.allow_only(&["threads", "summary", "out"])?;
+    if input == "-" {
+        run_jobs_and_emit(
+            mimd_engine::job_lines(std::io::stdin().lock()),
+            flags,
+            "batch",
+        )
+    } else {
+        let file = std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
+        run_jobs_and_emit(
+            mimd_engine::job_lines(std::io::BufReader::new(file)),
+            flags,
+            "batch",
+        )
+    }
+}
+
+fn cmd_sweep(flags: &Flags) -> Result<(), String> {
+    flags.allow_only(&[
+        "workloads",
+        "specs",
+        "algos",
+        "seeds",
+        "clustering",
+        "threads",
+        "summary",
+        "out",
+    ])?;
+    let parse_list = |name: &str| -> Result<Vec<String>, String> {
+        let raw = flags
+            .get(name)
+            .ok_or_else(|| format!("sweep needs --{name}"))?;
+        Ok(raw.split(',').map(str::to_string).collect())
+    };
+    let workloads = parse_list("workloads")?
+        .iter()
+        .map(|s| mimd_engine::WorkloadSpec::parse(s))
+        .collect::<Result<Vec<_>, _>>()?;
+    let topologies = parse_list("specs")?
+        .iter()
+        .map(|s| crate::args::parse_topology(s))
+        .collect::<Result<Vec<_>, _>>()?;
+    let algorithms = match flags.get("algos") {
+        Some(raw) => raw
+            .split(',')
+            .map(mimd_engine::AlgorithmSpec::parse)
+            .collect::<Result<Vec<_>, _>>()?,
+        None => vec![mimd_engine::AlgorithmSpec::parse("paper")?],
+    };
+    let seed_count = flags.num("seeds", 1u64)?;
+    if seed_count == 0 {
+        return Err("--seeds must be >= 1".into());
+    }
+    let seeds: Vec<u64> = (0..seed_count).collect();
+    let clustering = flags
+        .get("clustering")
+        .map(mimd_engine::ClusteringSpec::parse)
+        .transpose()?;
+    let jobs = mimd_engine::sweep_jobs(&workloads, &topologies, &algorithms, &seeds, clustering);
+    run_jobs_and_emit(jobs.into_iter().map(Ok), flags, "sweep")
+}
+
 fn cmd_paper(flags: &Flags) -> Result<(), String> {
     flags.allow_only(&[])?;
     let g = paper::worked_example();
@@ -359,6 +531,81 @@ mod tests {
         ])
         .unwrap();
         run(&["paper"]).unwrap();
+    }
+
+    #[test]
+    fn batch_and_sweep_run() {
+        let dir = std::env::temp_dir().join("mimd-cli-batch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jobs = dir.join("jobs.jsonl");
+        let out = dir.join("results.jsonl");
+        std::fs::write(
+            &jobs,
+            "# demo batch\n\
+             {\"workload\":{\"kind\":\"fft\",\"log2n\":3},\
+              \"topology\":{\"kind\":\"ring\",\"n\":4},\
+              \"algorithm\":{\"kind\":\"paper\"},\"seed\":1}\n\
+             {\"workload\":{\"kind\":\"pipeline\",\"stages\":2,\"tasks\":4},\
+              \"topology\":{\"kind\":\"ring\",\"n\":4},\
+              \"algorithm\":{\"kind\":\"random\",\"k\":4},\"seed\":2}\n",
+        )
+        .unwrap();
+        run(&[
+            "batch",
+            jobs.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--summary",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            let result = mimd_engine::JobResult::from_json_line(line).unwrap();
+            assert!(result.error.is_none(), "{:?}", result.error);
+        }
+
+        let out2 = dir.join("sweep.jsonl");
+        run(&[
+            "sweep",
+            "--workloads",
+            "fft:3,ge:6",
+            "--specs",
+            "ring:4",
+            "--algos",
+            "paper,random",
+            "--seeds",
+            "2",
+            "--out",
+            out2.to_str().unwrap(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&out2).unwrap();
+        assert_eq!(text.lines().count(), 2 * 2 * 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_and_sweep_errors() {
+        assert!(run(&["batch"]).is_err(), "missing input");
+        assert!(run(&["batch", "/nonexistent/x.jsonl"]).is_err());
+        assert!(
+            run(&["sweep", "--specs", "ring:4"]).is_err(),
+            "missing workloads"
+        );
+        assert!(run(&[
+            "sweep",
+            "--workloads",
+            "fft:3",
+            "--specs",
+            "ring:4",
+            "--seeds",
+            "0"
+        ])
+        .is_err());
+        assert!(run(&["sweep", "--workloads", "wat:3", "--specs", "ring:4"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Exercises the serde_derive stub on the item shapes the workspace uses.
+
+use serde::{Deserialize, Serialize, Value};
+
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Plain {
+    /// Doc comments must be skipped by the derive parser.
+    pub count: u64,
+    pub name: String,
+    pub ratio: f64,
+    pub flags: Vec<bool>,
+    pub window: Option<usize>,
+    pub weights: (u64, u64),
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Generic<T> {
+    n: usize,
+    data: Vec<T>,
+}
+
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Nested {
+    inner: Plain,
+    grid: Generic<u32>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnitEnum {
+    Alpha,
+    BetaGamma,
+}
+
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ExternalEnum {
+    Nothing,
+    Boxed { size: u64, label: String },
+}
+
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum TaggedEnum {
+    Hypercube { dim: u32 },
+    Mesh { rows: usize, cols: usize },
+    BinaryTree { n: usize },
+    Flat,
+}
+
+fn roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(value: &T) {
+    let tree = value.to_value();
+    let back = T::from_value(&tree).unwrap();
+    assert_eq!(&back, value);
+}
+
+fn sample_plain() -> Plain {
+    Plain {
+        count: 7,
+        name: "x".into(),
+        ratio: 0.25,
+        flags: vec![true, false],
+        window: None,
+        weights: (2, 12),
+    }
+}
+
+#[test]
+fn struct_roundtrips_and_preserves_field_order() {
+    let p = sample_plain();
+    roundtrip(&p);
+    let Value::Obj(fields) = p.to_value() else {
+        panic!("expected object")
+    };
+    let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        keys,
+        ["count", "name", "ratio", "flags", "window", "weights"]
+    );
+}
+
+#[test]
+fn generic_and_nested_structs_roundtrip() {
+    let g = Generic {
+        n: 2,
+        data: vec![1u32, 2, 3, 4],
+    };
+    roundtrip(&g);
+    roundtrip(&Nested {
+        inner: sample_plain(),
+        grid: g,
+    });
+}
+
+#[test]
+fn unit_enums_serialize_as_strings() {
+    roundtrip(&UnitEnum::Alpha);
+    roundtrip(&UnitEnum::BetaGamma);
+    assert_eq!(
+        UnitEnum::BetaGamma.to_value(),
+        Value::Str("BetaGamma".into())
+    );
+    assert!(UnitEnum::from_value(&Value::Str("Nope".into())).is_err());
+}
+
+#[test]
+fn external_enum_struct_variant_roundtrips() {
+    roundtrip(&ExternalEnum::Nothing);
+    let b = ExternalEnum::Boxed {
+        size: 9,
+        label: "L".into(),
+    };
+    roundtrip(&b);
+    let tree = b.to_value();
+    assert!(tree.get("Boxed").is_some(), "externally tagged: {tree:?}");
+}
+
+#[test]
+fn tagged_enum_uses_tag_and_snake_case() {
+    let t = TaggedEnum::BinaryTree { n: 9 };
+    roundtrip(&t);
+    let tree = t.to_value();
+    assert_eq!(
+        tree.get("kind"),
+        Some(&Value::Str("binary_tree".into())),
+        "{tree:?}"
+    );
+    assert_eq!(tree.get("n"), Some(&Value::UInt(9)));
+    roundtrip(&TaggedEnum::Hypercube { dim: 3 });
+    roundtrip(&TaggedEnum::Mesh { rows: 2, cols: 5 });
+    roundtrip(&TaggedEnum::Flat);
+    assert!(TaggedEnum::from_value(&Value::Obj(vec![(
+        "kind".into(),
+        Value::Str("nope".into())
+    )]))
+    .is_err());
+}
+
+#[test]
+fn missing_optional_field_is_none_and_missing_required_errors() {
+    let mut tree = sample_plain().to_value();
+    if let Value::Obj(fields) = &mut tree {
+        fields.retain(|(k, _)| k != "window");
+        let back = Plain::from_value(&tree).unwrap();
+        assert_eq!(back.window, None);
+        if let Value::Obj(fields) = &mut tree {
+            fields.retain(|(k, _)| k != "count");
+        }
+        let err = Plain::from_value(&tree).unwrap_err();
+        assert!(err.0.contains("count"), "{err}");
+    } else {
+        panic!("expected object");
+    }
+}

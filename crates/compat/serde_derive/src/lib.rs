@@ -1,0 +1,530 @@
+//! Offline-compatible `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Implemented directly on `proc_macro` tokens (the environment has no
+//! syn/quote). Supports the shapes this workspace uses:
+//!
+//! * structs with named fields, including plain type generics;
+//! * enums with unit and struct variants, externally tagged by default;
+//! * container attribute `#[serde(tag = "...", rename_all = "snake_case")]`
+//!   for internally tagged enums.
+//!
+//! Generated code targets the value-tree model of the sibling `serde`
+//! stub (`to_value`/`from_value`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate(&item, Mode::Serialize).parse().unwrap()
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate(&item, Mode::Deserialize).parse().unwrap()
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+    /// `#[serde(tag = "...")]` container attribute.
+    tag: Option<String>,
+    /// `#[serde(rename_all = "snake_case")]` container attribute.
+    snake_case: bool,
+}
+
+enum Body {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field names for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let (tag, snake_case) = parse_container_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let kind = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    let generics = parse_generics(&tokens, &mut pos);
+
+    let body_group = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde derive: expected {{...}} body for {name}, found {other:?}"),
+    };
+
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_named_fields(body_group)),
+        "enum" => Body::Enum(parse_variants(body_group)),
+        other => panic!("serde derive: unsupported item kind '{other}'"),
+    };
+
+    Item {
+        name,
+        generics,
+        body,
+        tag,
+        snake_case,
+    }
+}
+
+/// Scan leading `#[...]` attributes, extracting serde container options.
+fn parse_container_attrs(tokens: &[TokenTree], pos: &mut usize) -> (Option<String>, bool) {
+    let mut tag = None;
+    let mut snake_case = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) else {
+            break;
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    parse_serde_args(args.stream(), &mut tag, &mut snake_case);
+                }
+            }
+        }
+        *pos += 2;
+    }
+    (tag, snake_case)
+}
+
+fn parse_serde_args(stream: TokenStream, tag: &mut Option<String>, snake_case: &mut bool) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            other => panic!("serde derive: unexpected token {other} in #[serde(...)]"),
+        };
+        let value = match (tokens.get(i + 1), tokens.get(i + 2)) {
+            (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) if eq.as_char() == '=' => {
+                i += 3;
+                Some(unquote(&lit.to_string()))
+            }
+            _ => {
+                i += 1;
+                None
+            }
+        };
+        match (key.as_str(), value) {
+            ("tag", Some(v)) => *tag = Some(v),
+            ("rename_all", Some(v)) if v == "snake_case" => *snake_case = true,
+            (other, v) => panic!(
+                "serde derive: unsupported attribute serde({other} = {v:?}); \
+                 this offline stub supports only tag/rename_all=snake_case"
+            ),
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Skip inner attributes and `pub` / `pub(...)` visibility markers.
+fn skip_attrs_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    skip_attrs_and_visibility(tokens, pos);
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parse `<...>` after the type name, returning the plain type parameter
+/// names (bounds are ignored; lifetimes and const params unsupported).
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    *pos += 1;
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    let mut expecting_param = true;
+    while depth > 0 {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                expecting_param = true;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                panic!("serde derive: lifetime generics are not supported by this stub")
+            }
+            Some(TokenTree::Ident(id)) if expecting_param && depth == 1 => {
+                if id.to_string() == "const" {
+                    panic!("serde derive: const generics are not supported by this stub");
+                }
+                params.push(id.to_string());
+                expecting_param = false;
+            }
+            Some(_) => {}
+            None => panic!("serde derive: unterminated generic parameter list"),
+        }
+        *pos += 1;
+    }
+    params
+}
+
+/// Parse `name: Type, ...` named fields from a brace group's stream.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde derive: expected ':' after field '{name}', found {other:?}"),
+        }
+        fields.push(name);
+        // Consume the type: everything until a comma at angle depth 0.
+        let mut angle_depth = 0usize;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Parse enum variants (unit or struct-bodied) from a brace group.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Some(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => panic!(
+                "serde derive: tuple variant '{name}' is not supported by this stub; \
+                 use a struct variant"
+            ),
+            _ => None,
+        };
+        // Skip a discriminant (`= expr`) if present, then the comma.
+        while pos < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[pos] {
+                if p.as_char() == ',' {
+                    pos += 1;
+                    break;
+                }
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn to_snake_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn generate(item: &Item, mode: Mode) -> String {
+    let name = &item.name;
+    let (impl_generics, ty_generics) = if item.generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let bound = match mode {
+            Mode::Serialize => "::serde::Serialize",
+            Mode::Deserialize => "::serde::Deserialize",
+        };
+        let params: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect();
+        (
+            format!("<{}>", params.join(", ")),
+            format!("<{}>", item.generics.join(", ")),
+        )
+    };
+
+    let body = match (&item.body, mode) {
+        (Body::Struct(fields), Mode::Serialize) => gen_struct_ser(fields),
+        (Body::Struct(fields), Mode::Deserialize) => gen_struct_de(name, fields),
+        (Body::Enum(variants), Mode::Serialize) => gen_enum_ser(item, variants),
+        (Body::Enum(variants), Mode::Deserialize) => gen_enum_de(item, variants),
+    };
+
+    match mode {
+        Mode::Serialize => format!(
+            "#[automatically_derived]\n\
+             impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+             }}"
+        ),
+        Mode::Deserialize => format!(
+            "#[automatically_derived]\n\
+             impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\n\
+                 fn from_value(v: &::serde::Value) \
+                    -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+             }}"
+        ),
+    }
+}
+
+fn gen_struct_ser(fields: &[String]) -> String {
+    let pushes: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value(&self.{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Obj(::std::vec![{}])", pushes.join(", "))
+}
+
+fn gen_struct_de(name: &str, fields: &[String]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::field(obj, \"{f}\")?"))
+        .collect();
+    format!(
+        "let obj = v.as_obj().ok_or_else(|| \
+            ::serde::DeError::expected(\"object for {name}\", v))?;\n\
+         ::std::result::Result::Ok({name} {{ {} }})",
+        inits.join(", ")
+    )
+}
+
+fn gen_enum_ser(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|variant| {
+            let vname = &variant.name;
+            let label = if item.snake_case {
+                to_snake_case(vname)
+            } else {
+                vname.clone()
+            };
+            match (&variant.fields, &item.tag) {
+                (None, None) => format!(
+                    "{name}::{vname} => \
+                     ::serde::Value::Str(::std::string::String::from(\"{label}\")),"
+                ),
+                (None, Some(tag)) => format!(
+                    "{name}::{vname} => ::serde::Value::Obj(::std::vec![\
+                     (::std::string::String::from(\"{tag}\"), \
+                      ::serde::Value::Str(::std::string::String::from(\"{label}\")))]),"
+                ),
+                (Some(fields), tag) => {
+                    let bindings = fields.join(", ");
+                    let field_pairs: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f}))"
+                            )
+                        })
+                        .collect();
+                    match tag {
+                        Some(tag) => format!(
+                            "{name}::{vname} {{ {bindings} }} => \
+                             ::serde::Value::Obj(::std::vec![\
+                             (::std::string::String::from(\"{tag}\"), \
+                              ::serde::Value::Str(::std::string::String::from(\"{label}\"))), \
+                             {}]),",
+                            field_pairs.join(", ")
+                        ),
+                        None => format!(
+                            "{name}::{vname} {{ {bindings} }} => \
+                             ::serde::Value::Obj(::std::vec![\
+                             (::std::string::String::from(\"{label}\"), \
+                              ::serde::Value::Obj(::std::vec![{}]))]),",
+                            field_pairs.join(", ")
+                        ),
+                    }
+                }
+            }
+        })
+        .collect();
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+fn gen_enum_de(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    if let Some(tag) = &item.tag {
+        // Internally tagged: { "<tag>": "variant", ...fields }.
+        let arms: Vec<String> = variants
+            .iter()
+            .map(|variant| {
+                let vname = &variant.name;
+                let label = if item.snake_case {
+                    to_snake_case(vname)
+                } else {
+                    vname.clone()
+                };
+                match &variant.fields {
+                    None => format!("\"{label}\" => ::std::result::Result::Ok({name}::{vname}),"),
+                    Some(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(obj, \"{f}\")?"))
+                            .collect();
+                        format!(
+                            "\"{label}\" => ::std::result::Result::Ok(\
+                             {name}::{vname} {{ {} }}),",
+                            inits.join(", ")
+                        )
+                    }
+                }
+            })
+            .collect();
+        format!(
+            "let obj = v.as_obj().ok_or_else(|| \
+                ::serde::DeError::expected(\"tagged object for {name}\", v))?;\n\
+             let tag_value = v.get(\"{tag}\").and_then(::serde::Value::as_str)\
+                .ok_or_else(|| ::serde::DeError(::std::format!(\
+                    \"missing or non-string tag '{tag}' for {name}\")))?;\n\
+             match tag_value {{\n{}\n\
+                other => ::std::result::Result::Err(::serde::DeError(\
+                    ::std::format!(\"unknown {name} variant '{{other}}'\"))),\n}}",
+            arms.join("\n")
+        )
+    } else {
+        // Externally tagged: "Variant" or { "Variant": { fields } }.
+        let unit_arms: Vec<String> = variants
+            .iter()
+            .filter(|variant| variant.fields.is_none())
+            .map(|variant| {
+                let vname = &variant.name;
+                let label = if item.snake_case {
+                    to_snake_case(vname)
+                } else {
+                    vname.clone()
+                };
+                format!("\"{label}\" => return ::std::result::Result::Ok({name}::{vname}),")
+            })
+            .collect();
+        let keyed_arms: Vec<String> = variants
+            .iter()
+            .filter_map(|variant| {
+                let vname = &variant.name;
+                let label = if item.snake_case {
+                    to_snake_case(vname)
+                } else {
+                    vname.clone()
+                };
+                variant.fields.as_ref().map(|fields| {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(obj, \"{f}\")?"))
+                        .collect();
+                    format!(
+                        "\"{label}\" => {{\n\
+                             let obj = inner.as_obj().ok_or_else(|| \
+                                ::serde::DeError::expected(\
+                                    \"object for {name}::{vname}\", inner))?;\n\
+                             return ::std::result::Result::Ok({name}::{vname} {{ {} }});\n\
+                         }}",
+                        inits.join(", ")
+                    )
+                })
+            })
+            .collect();
+        format!(
+            "if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+                 match s {{\n{unit}\n_ => {{}}\n}}\n\
+             }}\n\
+             if let ::std::option::Option::Some(fields) = v.as_obj() {{\n\
+                 if fields.len() == 1 {{\n\
+                     let (key, inner) = &fields[0];\n\
+                     match key.as_str() {{\n{keyed}\n_ => {{}}\n}}\n\
+                 }}\n\
+             }}\n\
+             ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                 \"unrecognized {name} value: expected a variant of {name}\")))",
+            unit = unit_arms.join("\n"),
+            keyed = keyed_arms.join("\n"),
+        )
+    }
+}

@@ -170,7 +170,7 @@ mod tests {
         let a = Assignment::random(20, &mut StdRng::seed_from_u64(1));
         let b = Assignment::random(20, &mut StdRng::seed_from_u64(1));
         assert_eq!(a, b);
-        let mut seen = vec![false; 20];
+        let mut seen = [false; 20];
         for c in 0..20 {
             seen[a.sys_of(c)] = true;
         }

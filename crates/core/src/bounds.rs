@@ -46,8 +46,8 @@ mod tests {
     use crate::schedule::EvaluationModel;
     use crate::Assignment;
     use mimd_taskgraph::clustering::random::random_clustering;
-    use mimd_taskgraph::{GeneratorConfig, LayeredDagGenerator};
     use mimd_taskgraph::paper;
+    use mimd_taskgraph::{GeneratorConfig, LayeredDagGenerator};
     use mimd_topology::ring;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -314,7 +314,7 @@ mod tests {
         let g = paper::worked_example();
         for sys in [ring(4).unwrap(), chain(4).unwrap(), star(4).unwrap()] {
             let (_, _, init) = pipeline(&g, &sys);
-            let mut seen = vec![false; 4];
+            let mut seen = [false; 4];
             for a in 0..4 {
                 let s = init.assignment.sys_of(a);
                 assert!(!seen[s], "processor {s} double-assigned on {}", sys.name());

@@ -88,7 +88,7 @@ impl Schedule {
                     continue;
                 }
                 let feasible = data_ready[t].max(proc_free[graph.cluster_of(t)]);
-                if best.map_or(true, |(bt, bid)| (feasible, t) < (bt, bid)) {
+                if best.is_none_or(|(bt, bid)| (feasible, t) < (bt, bid)) {
                     best = Some((feasible, t));
                 }
             }

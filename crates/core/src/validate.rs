@@ -59,11 +59,20 @@ pub enum Violation {
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Violation::WrongDuration { task, expected_end, actual_end } => write!(
+            Violation::WrongDuration {
+                task,
+                expected_end,
+                actual_end,
+            } => write!(
                 f,
                 "task {task}: end {actual_end} but start + size = {expected_end}"
             ),
-            Violation::PrecedenceBroken { from, to, earliest, actual } => write!(
+            Violation::PrecedenceBroken {
+                from,
+                to,
+                earliest,
+                actual,
+            } => write!(
                 f,
                 "edge ({from},{to}): task {to} starts at {actual}, earliest legal {earliest}"
             ),
@@ -146,7 +155,10 @@ pub fn validate_schedule(
     // Total.
     let expected = (0..n).map(|t| schedule.end(t)).max().unwrap_or(0);
     if schedule.total() != expected {
-        violations.push(Violation::WrongTotal { expected, actual: schedule.total() });
+        violations.push(Violation::WrongTotal {
+            expected,
+            actual: schedule.total(),
+        });
     }
     violations
 }
@@ -188,11 +200,16 @@ mod tests {
         let sys = mimd_topology::chain(2).unwrap();
         let a = Assignment::identity(2);
         let eval = evaluate_assignment(&g, &sys, &a, EvaluationModel::Precedence).unwrap();
-        assert!(validate_schedule(&g, &sys, &a, &eval.schedule, EvaluationModel::Precedence)
-            .is_empty());
+        assert!(
+            validate_schedule(&g, &sys, &a, &eval.schedule, EvaluationModel::Precedence).is_empty()
+        );
         // The same schedule is NOT feasible under the serialized model.
         let v = validate_schedule(&g, &sys, &a, &eval.schedule, EvaluationModel::Serialized);
-        assert!(v.iter().any(|x| matches!(x, Violation::ProcessorOverlap { .. })), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::ProcessorOverlap { .. })),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -201,7 +218,9 @@ mod tests {
         // A schedule where everything starts at 0 breaks precedence.
         let broken = Schedule::precedence(&g, |_, _| 0);
         let v = validate_schedule(&g, &sys, &a, &broken, EvaluationModel::Precedence);
-        assert!(v.iter().any(|x| matches!(x, Violation::PrecedenceBroken { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::PrecedenceBroken { .. })));
         // Display is informative.
         let msg = v[0].to_string();
         assert!(msg.contains("starts at") || msg.contains("end"));
@@ -210,10 +229,26 @@ mod tests {
     #[test]
     fn violation_display_formats() {
         let samples = [
-            Violation::WrongDuration { task: 1, expected_end: 5, actual_end: 4 },
-            Violation::PrecedenceBroken { from: 0, to: 1, earliest: 7, actual: 6 },
-            Violation::ProcessorOverlap { processor: 2, a: 3, b: 4 },
-            Violation::WrongTotal { expected: 14, actual: 13 },
+            Violation::WrongDuration {
+                task: 1,
+                expected_end: 5,
+                actual_end: 4,
+            },
+            Violation::PrecedenceBroken {
+                from: 0,
+                to: 1,
+                earliest: 7,
+                actual: 6,
+            },
+            Violation::ProcessorOverlap {
+                processor: 2,
+                a: 3,
+                b: 4,
+            },
+            Violation::WrongTotal {
+                expected: 14,
+                actual: 13,
+            },
         ];
         for s in samples {
             assert!(!s.to_string().is_empty());

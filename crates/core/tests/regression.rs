@@ -2,6 +2,11 @@
 //! mapping results. If an intentional algorithm change shifts these
 //! numbers, update them consciously — the git diff of this file then
 //! documents the behavioural change.
+//!
+//! Pinned against the workspace's in-tree deterministic `rand` stub
+//! (xoshiro256** StdRng, crates/compat/rand): the build environment has
+//! no crates.io access, so upstream rand's ChaCha12 stream — and the
+//! constants originally derived from it — are not reproducible here.
 
 use mimd_core::critical::{CriticalAnalysis, CriticalityMode};
 use mimd_core::ideal::IdealSchedule;
@@ -36,19 +41,19 @@ fn golden_instance_shape_is_stable() {
     // These constants pin the generator + clustering byte-for-byte.
     assert_eq!(g.num_tasks(), 96);
     assert_eq!(g.num_clusters(), 8);
-    assert_eq!(g.problem().graph().edge_count(), 168);
-    assert_eq!(g.problem().sequential_time(), 676);
-    assert_eq!(g.cross_edges().count(), 83);
-    assert_eq!(g.total_cut_weight(), 314);
+    assert_eq!(g.problem().graph().edge_count(), 171);
+    assert_eq!(g.problem().sequential_time(), 679);
+    assert_eq!(g.cross_edges().count(), 85);
+    assert_eq!(g.total_cut_weight(), 310);
 }
 
 #[test]
 fn golden_ideal_and_critical_are_stable() {
     let g = golden_instance(2024, 96, 8);
     let ideal = IdealSchedule::derive(&g);
-    assert_eq!(ideal.lower_bound(), 124);
+    assert_eq!(ideal.lower_bound(), 125);
     let crit = CriticalAnalysis::analyze(&g, &ideal, CriticalityMode::PaperExact);
-    assert_eq!(crit.critical_edges().len(), 0, "the golden instance's critical chain is intra-cluster");
+    assert_eq!(crit.critical_edges().len(), 1);
     let ext = CriticalAnalysis::analyze(&g, &ideal, CriticalityMode::Extended);
     assert!(ext.critical_edges().len() >= crit.critical_edges().len());
 }
@@ -59,14 +64,14 @@ fn golden_mapping_results_are_stable() {
     let cube = hypercube(3).unwrap();
     let mut rng = StdRng::seed_from_u64(7);
     let r = Mapper::new().map(&g, &cube, &mut rng).unwrap();
-    assert_eq!(r.lower_bound, 124);
-    assert_eq!(r.total_time, 130);
+    assert_eq!(r.lower_bound, 125);
+    assert_eq!(r.total_time, 140);
     assert!(!r.refinement.reached_lower_bound);
 
     let mesh = mesh2d(2, 4).unwrap();
     let mut rng = StdRng::seed_from_u64(7);
     let r = Mapper::new().map(&g, &mesh, &mut rng).unwrap();
-    assert_eq!(r.total_time, 141);
+    assert_eq!(r.total_time, 153);
 }
 
 #[test]

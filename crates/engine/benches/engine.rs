@@ -1,0 +1,143 @@
+//! Batch throughput: the engine's thread pool + topology cache against
+//! a naive per-job serial loop that rebuilds the topology every time.
+//!
+//! The acceptance target: on ≥ 4 threads the engine sustains ≥ 2× the
+//! naive serial throughput on a 100-job batch (10 workloads × 10 seeds
+//! on one 16-node hypercube).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mimd_engine::{
+    execute_job, AlgorithmSpec, Engine, EngineConfig, JobSpec, TopologyCache, TopologySpec,
+    WorkloadSpec,
+};
+
+/// 10 workloads × 10 seeds on one 16-node hypercube = 100 jobs.
+fn batch_100() -> Vec<JobSpec> {
+    let workloads = [
+        WorkloadSpec::Layered {
+            tasks: 64,
+            width: None,
+        },
+        WorkloadSpec::Layered {
+            tasks: 96,
+            width: None,
+        },
+        WorkloadSpec::PaperRegime { tasks: 80 },
+        WorkloadSpec::PaperRegime { tasks: 120 },
+        WorkloadSpec::GaussianElimination { n: 12 },
+        WorkloadSpec::Stencil {
+            width: 16,
+            steps: 6,
+        },
+        WorkloadSpec::Fft { log2n: 4 },
+        WorkloadSpec::DivideAndConquer { depth: 5 },
+        WorkloadSpec::Pipeline {
+            stages: 4,
+            tasks: 16,
+        },
+        WorkloadSpec::Layered {
+            tasks: 128,
+            width: None,
+        },
+    ];
+    let mut jobs = Vec::with_capacity(100);
+    for workload in &workloads {
+        for seed in 0..10u64 {
+            jobs.push(JobSpec {
+                id: None,
+                workload: workload.clone(),
+                clustering: None,
+                topology: TopologySpec::Hypercube { dim: 4 },
+                topology_seed: None,
+                algorithm: AlgorithmSpec::Paper {
+                    refine_iterations: None,
+                },
+                seed,
+            });
+        }
+    }
+    jobs
+}
+
+/// The baseline a resource manager would write first: map each job in
+/// sequence, recomputing topology artifacts per job (fresh cache).
+fn naive_serial(jobs: &[JobSpec]) -> usize {
+    let mut completed = 0;
+    for (i, job) in jobs.iter().enumerate() {
+        let fresh_cache = TopologyCache::new();
+        let result = execute_job(job, i, &fresh_cache);
+        assert!(result.error.is_none());
+        completed += 1;
+    }
+    completed
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let jobs = batch_100();
+    let mut group = c.benchmark_group("engine_batch_100jobs_hypercube16");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(jobs.len() as u64));
+
+    group.bench_function("naive_serial_loop", |b| b.iter(|| naive_serial(&jobs)));
+
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("engine", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let engine = Engine::new(EngineConfig {
+                        threads,
+                        ..EngineConfig::default()
+                    });
+                    let results = engine.run_batch(&jobs);
+                    assert!(results.iter().all(|r| r.error.is_none()));
+                    results.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Where the engine wins even on one core: a batch against a large
+/// machine, where per-job topology precomputation (APSP + routing
+/// table) rivals the mapping itself. The naive loop pays it per job;
+/// the engine pays it once.
+fn bench_cache_amortization(c: &mut Criterion) {
+    let jobs: Vec<JobSpec> = (0..40u64)
+        .map(|seed| JobSpec {
+            id: None,
+            workload: WorkloadSpec::Pipeline {
+                stages: 2,
+                tasks: 300,
+            },
+            clustering: None,
+            topology: TopologySpec::Ring { n: 512 },
+            topology_seed: None,
+            algorithm: AlgorithmSpec::Random { k: 1 },
+            seed,
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("engine_cache_amortization_ring512_40jobs");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(jobs.len() as u64));
+    group.bench_function("naive_serial_loop", |b| b.iter(|| naive_serial(&jobs)));
+    group.bench_with_input(BenchmarkId::new("engine", 4), &4usize, |b, &threads| {
+        b.iter(|| {
+            let engine = Engine::new(EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            });
+            let results = engine.run_batch(&jobs);
+            assert!(results.iter().all(|r| r.error.is_none()));
+            results.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_throughput, bench_cache_amortization);
+criterion_main!(benches);

@@ -1,0 +1,206 @@
+//! The shared topology cache.
+//!
+//! Batch mapping spends real time on per-machine precomputation: the
+//! all-pairs hop matrix (`mimd-graph` BFS APSP, embedded in
+//! [`SystemGraph`]) and the simulator's next-hop [`RoutingTable`]. A
+//! batch of N jobs against the same machine should pay that cost once.
+//! [`TopologyCache`] interns topologies behind their canonical JSON
+//! spec and hands out `Arc`-shared artifacts; hit/miss counters make
+//! the "computed exactly once" guarantee observable and testable.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+use mimd_graph::error::GraphError;
+use mimd_sim::RoutingTable;
+use mimd_topology::{SystemGraph, TopologySpec};
+
+/// Everything per-topology that jobs can share read-only.
+#[derive(Debug)]
+pub struct TopologyArtifacts {
+    /// The validated system graph with its embedded APSP hop matrix.
+    pub system: SystemGraph,
+    /// Deterministic shortest-path next-hop table.
+    pub routing: RoutingTable,
+}
+
+impl TopologyArtifacts {
+    /// Build artifacts directly (the uncached path).
+    pub fn build(spec: &TopologySpec, topology_seed: u64) -> Result<Self, GraphError> {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(topology_seed);
+        let system = spec.build(&mut rng)?;
+        let routing = RoutingTable::new(&system);
+        Ok(TopologyArtifacts { system, routing })
+    }
+}
+
+/// Cache statistics snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from an already-built entry.
+    pub hits: usize,
+    /// Lookups that had to build the artifacts.
+    pub misses: usize,
+    /// Distinct topologies interned.
+    pub entries: usize,
+}
+
+/// One slot per interned key; built at most once.
+#[derive(Default)]
+struct Slot {
+    cell: OnceLock<Result<Arc<TopologyArtifacts>, GraphError>>,
+}
+
+/// Concurrent, interning cache of [`TopologyArtifacts`].
+///
+/// Keyed by the canonical JSON of the [`TopologySpec`] plus — for
+/// stochastic topologies only — the topology seed, so a batch on one
+/// deterministic machine shares one entry regardless of job seeds.
+#[derive(Default)]
+pub struct TopologyCache {
+    slots: Mutex<HashMap<(String, u64), Arc<Slot>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl TopologyCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TopologyCache::default()
+    }
+
+    /// The interning key: canonical spec JSON + effective seed.
+    fn key(spec: &TopologySpec, topology_seed: u64) -> (String, u64) {
+        let canonical = serde_json::to_string(spec).expect("TopologySpec serializes");
+        let effective_seed = if spec.is_stochastic() {
+            topology_seed
+        } else {
+            0
+        };
+        (canonical, effective_seed)
+    }
+
+    /// Fetch or build the artifacts for `spec`.
+    ///
+    /// Concurrent callers racing on a fresh key block on the slot's
+    /// `OnceLock`, so the build runs exactly once; the global map lock
+    /// is held only for the slot lookup, never during a build.
+    pub fn get_or_build(
+        &self,
+        spec: &TopologySpec,
+        topology_seed: u64,
+    ) -> Result<Arc<TopologyArtifacts>, GraphError> {
+        let key = Self::key(spec, topology_seed);
+        let slot = {
+            let mut slots = self.slots.lock();
+            Arc::clone(slots.entry(key).or_default())
+        };
+        let mut built_here = false;
+        let result = slot
+            .cell
+            .get_or_init(|| {
+                built_here = true;
+                TopologyArtifacts::build(spec, topology_seed).map(Arc::new)
+            })
+            .clone();
+        if built_here {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.slots.lock().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_lookups_build_once() {
+        let cache = TopologyCache::new();
+        let spec = TopologySpec::Hypercube { dim: 4 };
+        let first = cache.get_or_build(&spec, 0).unwrap();
+        for _ in 0..9 {
+            let again = cache.get_or_build(&spec, 0).unwrap();
+            assert!(Arc::ptr_eq(&first, &again));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 9);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn cached_artifacts_equal_uncached_build() {
+        let cache = TopologyCache::new();
+        let spec = TopologySpec::Mesh { rows: 3, cols: 4 };
+        let cached = cache.get_or_build(&spec, 0).unwrap();
+        let direct = TopologyArtifacts::build(&spec, 0).unwrap();
+        assert_eq!(cached.system.graph(), direct.system.graph());
+        assert_eq!(cached.system.distances(), direct.system.distances());
+        assert_eq!(cached.routing, direct.routing);
+    }
+
+    #[test]
+    fn deterministic_topologies_ignore_the_seed_in_the_key() {
+        let cache = TopologyCache::new();
+        let spec = TopologySpec::Ring { n: 6 };
+        let a = cache.get_or_build(&spec, 1).unwrap();
+        let b = cache.get_or_build(&spec, 2).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn random_topologies_key_on_their_seed() {
+        let cache = TopologyCache::new();
+        let spec = TopologySpec::Random { n: 10, p: 0.2 };
+        let a = cache.get_or_build(&spec, 1).unwrap();
+        let b = cache.get_or_build(&spec, 2).unwrap();
+        let a2 = cache.get_or_build(&spec, 1).unwrap();
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn build_errors_are_cached_and_returned() {
+        let cache = TopologyCache::new();
+        let spec = TopologySpec::Ring { n: 0 };
+        assert!(cache.get_or_build(&spec, 0).is_err());
+        assert!(cache.get_or_build(&spec, 0).is_err());
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn concurrent_first_access_builds_once() {
+        let cache = Arc::new(TopologyCache::new());
+        let spec = TopologySpec::Hypercube { dim: 5 };
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let spec = spec.clone();
+                scope.spawn(move || cache.get_or_build(&spec, 0).unwrap());
+            }
+        });
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 7);
+    }
+}

@@ -1,0 +1,137 @@
+//! JSONL job input/output and the sweep cross-product builder.
+
+use std::io::{BufRead, Write};
+
+use crate::spec::{AlgorithmSpec, JobResult, JobSpec, TopologySpec, WorkloadSpec};
+
+/// Read a JSONL batch eagerly: one [`JobSpec`] per line, blank lines
+/// and `#`-comments skipped. Errors carry the 1-based line number.
+pub fn read_jobs(reader: impl BufRead) -> Result<Vec<JobSpec>, String> {
+    job_lines(reader).collect()
+}
+
+/// Lazily parse a JSONL job stream: yields one `Ok(JobSpec)` per
+/// non-blank, non-`#` line, or `Err` with the 1-based line number.
+/// Pairs with [`Engine::run_stream`](crate::Engine::run_stream) so a
+/// large stdin batch is never fully buffered.
+pub fn job_lines(reader: impl BufRead) -> impl Iterator<Item = Result<JobSpec, String>> {
+    reader
+        .lines()
+        .enumerate()
+        .filter_map(|(lineno, line)| match line {
+            Err(e) => Some(Err(format!("line {}: {e}", lineno + 1))),
+            Ok(line) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() || trimmed.starts_with('#') {
+                    return None;
+                }
+                Some(serde_json::from_str(trimmed).map_err(|e| format!("line {}: {e}", lineno + 1)))
+            }
+        })
+}
+
+/// Write one result as a JSONL line.
+pub fn write_result(mut writer: impl Write, result: &JobResult) -> std::io::Result<()> {
+    writeln!(writer, "{}", result.to_json_line())
+}
+
+/// Build the cross-product batch of a sweep: for every workload ×
+/// topology × algorithm × seed, one job, all using `clustering`
+/// (`None` for the default front-end). Order is workload-major, seed
+/// minor, so output groups naturally for summarization.
+pub fn sweep_jobs(
+    workloads: &[WorkloadSpec],
+    topologies: &[TopologySpec],
+    algorithms: &[AlgorithmSpec],
+    seeds: &[u64],
+    clustering: Option<crate::spec::ClusteringSpec>,
+) -> Vec<JobSpec> {
+    let mut jobs =
+        Vec::with_capacity(workloads.len() * topologies.len() * algorithms.len() * seeds.len());
+    for workload in workloads {
+        for topology in topologies {
+            for algorithm in algorithms {
+                for &seed in seeds {
+                    jobs.push(JobSpec {
+                        id: None,
+                        workload: workload.clone(),
+                        clustering,
+                        topology: topology.clone(),
+                        topology_seed: None,
+                        algorithm: algorithm.clone(),
+                        seed,
+                    });
+                }
+            }
+        }
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_jobs_skipping_comments_and_blanks() {
+        let text = "\
+# a comment
+{\"workload\":{\"kind\":\"fft\",\"log2n\":3},\"topology\":{\"kind\":\"ring\",\"n\":4},\
+\"algorithm\":{\"kind\":\"random\",\"k\":2},\"seed\":1}
+
+{\"workload\":{\"kind\":\"gaussian_elimination\",\"n\":6},\
+\"topology\":{\"kind\":\"hypercube\",\"dim\":2},\
+\"algorithm\":{\"kind\":\"paper\"},\"seed\":2}
+";
+        let jobs = read_jobs(text.as_bytes()).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].seed, 1);
+        assert_eq!(jobs[1].algorithm.name(), "paper");
+    }
+
+    #[test]
+    fn bad_lines_report_their_number() {
+        let err = read_jobs("\n{oops\n".as_bytes()).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn sweep_is_a_full_cross_product() {
+        let jobs = sweep_jobs(
+            &[
+                WorkloadSpec::Fft { log2n: 3 },
+                WorkloadSpec::GaussianElimination { n: 6 },
+            ],
+            &[TopologySpec::Ring { n: 4 }],
+            &[
+                AlgorithmSpec::Paper {
+                    refine_iterations: None,
+                },
+                AlgorithmSpec::Random { k: 4 },
+            ],
+            &[0, 1, 2],
+            Some(crate::spec::ClusteringSpec::Sarkar),
+        );
+        assert_eq!(jobs.len(), 2 * 2 * 3);
+        assert_eq!(jobs[0].seed, 0);
+        assert_eq!(jobs[1].seed, 1);
+        assert_eq!(jobs[3].algorithm.name(), "random");
+        assert!(jobs
+            .iter()
+            .all(|j| j.clustering == Some(crate::spec::ClusteringSpec::Sarkar)));
+    }
+
+    #[test]
+    fn job_lines_is_lazy_and_reports_errors_in_place() {
+        let text = "\
+{\"workload\":{\"kind\":\"fft\",\"log2n\":3},\"topology\":{\"kind\":\"ring\",\"n\":4},\
+\"algorithm\":{\"kind\":\"paper\"},\"seed\":1}
+{bad
+";
+        let mut iter = job_lines(text.as_bytes());
+        assert!(iter.next().unwrap().is_ok());
+        let err = iter.next().unwrap().unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(iter.next().is_none());
+    }
+}

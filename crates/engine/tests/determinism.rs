@@ -1,0 +1,118 @@
+//! The engine's determinism contract, extending the invariant asserted
+//! for `mimd-core::parallel` in the workspace-level `tests/determinism.rs`:
+//! the same JSONL batch with the same seeds produces byte-identical
+//! output regardless of worker-thread count.
+
+use mimd_engine::{
+    read_jobs, AlgorithmSpec, Engine, EngineConfig, JobSpec, TopologySpec, WorkloadSpec,
+};
+
+/// A portfolio batch mixing workloads, topologies and all algorithms.
+fn portfolio_batch() -> Vec<JobSpec> {
+    let algorithms = [
+        AlgorithmSpec::Paper {
+            refine_iterations: None,
+        },
+        AlgorithmSpec::Random { k: 8 },
+        AlgorithmSpec::Bokhari { jumps: 3 },
+        AlgorithmSpec::Lee { restarts: 2 },
+        AlgorithmSpec::Annealing { slow: false },
+        AlgorithmSpec::Pairwise {
+            max_evaluations: 64,
+        },
+    ];
+    let instances = [
+        (
+            WorkloadSpec::Layered {
+                tasks: 40,
+                width: None,
+            },
+            TopologySpec::Hypercube { dim: 3 },
+        ),
+        (
+            WorkloadSpec::GaussianElimination { n: 8 },
+            TopologySpec::Mesh { rows: 2, cols: 4 },
+        ),
+        (
+            WorkloadSpec::PaperRegime { tasks: 48 },
+            TopologySpec::Random { n: 8, p: 0.3 },
+        ),
+    ];
+    let mut jobs = Vec::new();
+    for (workload, topology) in &instances {
+        for algorithm in &algorithms {
+            for seed in 0..3u64 {
+                jobs.push(JobSpec {
+                    id: None,
+                    workload: workload.clone(),
+                    clustering: None,
+                    topology: topology.clone(),
+                    topology_seed: Some(5),
+                    algorithm: algorithm.clone(),
+                    seed,
+                });
+            }
+        }
+    }
+    jobs
+}
+
+fn run_to_jsonl(jobs: &[JobSpec], threads: usize) -> String {
+    let engine = Engine::new(EngineConfig {
+        threads,
+        queue_capacity: 7, // deliberately smaller than the batch
+    });
+    let mut out = String::new();
+    engine.run_stream(jobs.to_vec(), |result| {
+        out.push_str(&result.to_json_line());
+        out.push('\n');
+    });
+    out
+}
+
+#[test]
+fn batch_output_is_byte_identical_across_thread_counts() {
+    let jobs = portfolio_batch();
+    let reference = run_to_jsonl(&jobs, 1);
+    assert_eq!(reference.lines().count(), jobs.len());
+    for threads in [2, 4, 8] {
+        let output = run_to_jsonl(&jobs, threads);
+        assert_eq!(output, reference, "thread count {threads} changed output");
+    }
+}
+
+#[test]
+fn batch_output_is_stable_across_runs_of_the_same_engine_shape() {
+    let jobs = portfolio_batch();
+    assert_eq!(run_to_jsonl(&jobs, 4), run_to_jsonl(&jobs, 4));
+}
+
+#[test]
+fn jsonl_roundtrip_preserves_the_batch() {
+    let jobs = portfolio_batch();
+    let lines: String = jobs
+        .iter()
+        .map(|j| serde_json::to_string(j).unwrap() + "\n")
+        .collect();
+    let parsed = read_jobs(lines.as_bytes()).unwrap();
+    assert_eq!(parsed, jobs);
+}
+
+#[test]
+fn results_are_consumable_and_sane() {
+    let jobs = portfolio_batch();
+    let output = run_to_jsonl(&jobs, 4);
+    for line in output.lines() {
+        let result = mimd_engine::JobResult::from_json_line(line).unwrap();
+        assert!(result.error.is_none(), "{:?}", result.error);
+        assert!(result.total_time >= result.lower_bound);
+        assert!(result.percent_over_lower_bound >= 100.0);
+        assert_eq!(result.optimal, result.total_time == result.lower_bound);
+        // The assignment is a bijection clusters -> processors.
+        let mut seen = vec![false; result.ns];
+        for &s in &result.assignment {
+            assert!(!seen[s]);
+            seen[s] = true;
+        }
+    }
+}

@@ -89,8 +89,7 @@ fn bench_parallel_refinement(c: &mut Criterion) {
     for threads in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
             b.iter(|| {
-                let cfg =
-                    ParallelRefineConfig::new(128, t, RefineConfig::paper(system.len()));
+                let cfg = ParallelRefineConfig::new(128, t, RefineConfig::paper(system.len()));
                 parallel_refine(
                     &graph,
                     &system,
@@ -108,5 +107,10 @@ fn bench_parallel_refinement(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_stages, bench_full_map, bench_parallel_refinement);
+criterion_group!(
+    benches,
+    bench_stages,
+    bench_full_map,
+    bench_parallel_refinement
+);
 criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Express an experiment series as an engine batch.
+//!
+//! The harness's row loop ([`crate::harness::run_series`]) is the
+//! faithful single-threaded reproduction; this module rebases the same
+//! experiment shape onto the `mimd-engine` job model so series run on
+//! the worker pool with shared topology artifacts — the template every
+//! scaling experiment (sharding, portfolio sweeps) builds on.
+
+use mimd_engine::{
+    AlgorithmSpec, ClusteringSpec, Engine, EngineConfig, JobResult, JobSpec, WorkloadSpec,
+};
+
+use crate::harness::SeriesConfig;
+
+/// One engine job per series row, running the paper strategy with the
+/// row's seed. Row `i` uses `config.seed + i`, mirroring `run_series`.
+pub fn series_jobs(config: &SeriesConfig) -> Vec<JobSpec> {
+    config
+        .rows
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let seed = config.seed + i as u64;
+            JobSpec {
+                id: Some(format!("{}/{}", config.name, i + 1)),
+                workload: WorkloadSpec::PaperRegime { tasks: row.np },
+                clustering: Some(ClusteringSpec::from(config.clustering)),
+                topology: row.topology.clone(),
+                topology_seed: Some(seed),
+                algorithm: AlgorithmSpec::Paper {
+                    refine_iterations: config.mapper.refine_iterations,
+                },
+                seed,
+            }
+        })
+        .collect()
+}
+
+/// Run a series through the batch engine on `threads` workers,
+/// returning one [`JobResult`] per row (input order).
+pub fn run_series_batched(config: &SeriesConfig, threads: usize) -> Vec<JobResult> {
+    let engine = Engine::new(EngineConfig {
+        threads,
+        ..EngineConfig::default()
+    });
+    engine.run_batch(&series_jobs(config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{ClusteringKind, RowSpec};
+    use mimd_core::MapperConfig;
+    use mimd_topology::TopologySpec;
+
+    fn series() -> SeriesConfig {
+        SeriesConfig {
+            name: "engine-bridge".into(),
+            rows: vec![
+                RowSpec {
+                    np: 40,
+                    topology: TopologySpec::Hypercube { dim: 3 },
+                },
+                RowSpec {
+                    np: 60,
+                    topology: TopologySpec::Hypercube { dim: 3 },
+                },
+                RowSpec {
+                    np: 50,
+                    topology: TopologySpec::Ring { n: 8 },
+                },
+            ],
+            reps: 4,
+            seed: 17,
+            mapper: MapperConfig::default(),
+            clustering: ClusteringKind::Region,
+        }
+    }
+
+    #[test]
+    fn jobs_mirror_the_series_rows() {
+        let jobs = series_jobs(&series());
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].seed, 17);
+        assert_eq!(jobs[2].seed, 19);
+        assert_eq!(jobs[1].workload, WorkloadSpec::PaperRegime { tasks: 60 });
+        assert_eq!(jobs[0].id.as_deref(), Some("engine-bridge/1"));
+    }
+
+    #[test]
+    fn batched_series_is_deterministic_across_thread_counts() {
+        let one = run_series_batched(&series(), 1);
+        let four = run_series_batched(&series(), 4);
+        assert_eq!(one, four);
+        for r in &one {
+            assert!(r.error.is_none(), "{:?}", r.error);
+            assert!(r.total_time >= r.lower_bound);
+        }
+    }
+
+    #[test]
+    fn repeated_topologies_share_cache_entries() {
+        let engine = Engine::new(EngineConfig::default());
+        engine.run_batch(&series_jobs(&series()));
+        // Two hypercube rows share one entry; the ring adds another.
+        let stats = engine.cache_stats();
+        assert_eq!(stats.entries, 2, "{stats:?}");
+        assert_eq!(stats.misses, 2, "{stats:?}");
+        assert_eq!(stats.hits, 1, "{stats:?}");
+    }
+}

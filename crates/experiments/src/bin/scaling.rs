@@ -27,7 +27,14 @@ fn main() {
     let system = hypercube(5).unwrap(); // ns = 32, the paper's largest cube
     let mut table = Table::new(
         format!("pipeline wall-clock on {} (milliseconds)", system.name()),
-        &["np", "ideal", "critical", "initial+abstract", "map (full)", "% over LB"],
+        &[
+            "np",
+            "ideal",
+            "critical",
+            "initial+abstract",
+            "map (full)",
+            "% over LB",
+        ],
     );
     for np in [100usize, 300, 1000, 3000] {
         let mut rng = StdRng::seed_from_u64(args.seed);
@@ -43,8 +50,8 @@ fn main() {
 
         let t0 = Instant::now();
         let abs = AbstractGraph::new(&graph);
-        let init = mimd_core::initial::initial_assignment(&graph, &abs, &critical, &system)
-            .unwrap();
+        let init =
+            mimd_core::initial::initial_assignment(&graph, &abs, &critical, &system).unwrap();
         let t_init = t0.elapsed();
         let _ = init;
 

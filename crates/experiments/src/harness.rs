@@ -12,11 +12,9 @@ use rand::SeedableRng;
 use mimd_baselines::random_map::random_baseline;
 use mimd_core::schedule::EvaluationModel;
 use mimd_core::{Mapper, MapperConfig};
+use mimd_engine::{ClusteringSpec, WorkloadSpec};
 use mimd_report::{ExperimentRecord, Histogram, Table};
-use mimd_taskgraph::clustering::random::random_clustering;
-use mimd_taskgraph::clustering::region::random_region_clustering;
-use mimd_taskgraph::clustering::sarkar::sarkar_clustering;
-use mimd_taskgraph::{ClusteredProblemGraph, GeneratorConfig, LayeredDagGenerator};
+use mimd_taskgraph::ClusteredProblemGraph;
 use mimd_topology::TopologySpec;
 
 /// Which clustering front-end the series uses (the paper's "random
@@ -95,32 +93,34 @@ pub fn build_instance(np: usize, ns: usize, rng: &mut StdRng) -> ClusteredProble
 }
 
 /// [`build_instance`] with an explicit clustering front-end.
+///
+/// Since the engine rebase, instance construction delegates to the
+/// `mimd-engine` spec model ([`WorkloadSpec::PaperRegime`] +
+/// [`ClusteringSpec`]) so the harness and the batch engine generate
+/// identical instances for identical seeds.
 pub fn build_instance_with(
     np: usize,
     ns: usize,
     clustering: ClusteringKind,
     rng: &mut StdRng,
 ) -> ClusteredProblemGraph {
-    let gen = LayeredDagGenerator::new(GeneratorConfig {
-        tasks: np,
-        avg_width: (np / 8).clamp(3, 16),
-        p_forward: 0.45,
-        p_skip: 0.01,
-        task_weight: (3, 24),
-        edge_weight: (4, 16),
-        connect_layers: true,
-        locality_window: Some(1),
-    })
-    .expect("generator config is valid");
-    let problem = gen.generate(rng);
-    let clustering = match clustering {
-        ClusteringKind::Region => {
-            random_region_clustering(&problem, ns, rng).expect("1 <= ns <= np")
-        }
-        ClusteringKind::Iid => random_clustering(&problem, ns, rng).expect("1 <= ns <= np"),
-        ClusteringKind::Sarkar => sarkar_clustering(&problem, ns).expect("1 <= ns <= np"),
-    };
+    let problem = WorkloadSpec::PaperRegime { tasks: np }
+        .build(rng)
+        .expect("generator config is valid");
+    let clustering = ClusteringSpec::from(clustering)
+        .build(&problem, ns, rng)
+        .expect("1 <= ns <= np");
     ClusteredProblemGraph::new(problem, clustering).expect("matching sizes")
+}
+
+impl From<ClusteringKind> for ClusteringSpec {
+    fn from(kind: ClusteringKind) -> ClusteringSpec {
+        match kind {
+            ClusteringKind::Region => ClusteringSpec::Region,
+            ClusteringKind::Iid => ClusteringSpec::Iid,
+            ClusteringKind::Sarkar => ClusteringSpec::Sarkar,
+        }
+    }
 }
 
 /// Run a series and produce records, table and histogram.

@@ -23,8 +23,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod cli;
 pub mod harness;
 
+pub use batch::{run_series_batched, series_jobs};
 pub use cli::CliArgs;
 pub use harness::{run_series, ClusteringKind, RowSpec, SeriesConfig, SeriesResult};

@@ -45,7 +45,7 @@ impl DistanceMatrix {
                     }
                 }
             }
-            if dist.row(s).iter().any(|&d| d == u32::MAX) {
+            if dist.row(s).contains(&u32::MAX) {
                 return Err(GraphError::Disconnected);
             }
         }
@@ -76,6 +76,39 @@ impl DistanceMatrix {
     /// Borrow the underlying matrix (the paper's `shortest[ns][ns]`).
     pub fn as_matrix(&self) -> &SquareMatrix<u32> {
         &self.dist
+    }
+
+    /// Rebuild from a precomputed hop matrix, validating that it is a
+    /// plausible APSP artifact: zero diagonal, symmetric, no
+    /// unreachable (`u32::MAX`) entries. This is the entry point for
+    /// callers that cache or ship APSP matrices (e.g. a batch engine's
+    /// topology cache) instead of re-running the BFS sweep.
+    pub fn from_matrix(dist: SquareMatrix<u32>) -> Result<Self, GraphError> {
+        let n = dist.n();
+        for i in 0..n {
+            if dist.get(i, i) != 0 {
+                return Err(GraphError::InvalidParameter(format!(
+                    "distance matrix diagonal ({i},{i}) must be 0"
+                )));
+            }
+            for j in 0..n {
+                let d = dist.get(i, j);
+                if d == u32::MAX {
+                    return Err(GraphError::Disconnected);
+                }
+                if d != dist.get(j, i) {
+                    return Err(GraphError::InvalidParameter(format!(
+                        "distance matrix must be symmetric; ({i},{j}) != ({j},{i})"
+                    )));
+                }
+            }
+        }
+        Ok(DistanceMatrix { dist })
+    }
+
+    /// Consume `self`, returning the hop matrix (for caching/shipping).
+    pub fn into_matrix(self) -> SquareMatrix<u32> {
+        self.dist
     }
 
     /// For node `u`, the nearest node among `candidates` (smallest hop
@@ -149,12 +182,30 @@ mod tests {
         // (0 1 2 1), (1 0 1 2), (2 1 0 1), (1 2 1 0).
         let d = DistanceMatrix::bfs_all_pairs(&ring(4)).unwrap();
         let expect = [[0, 1, 2, 1], [1, 0, 1, 2], [2, 1, 0, 1], [1, 2, 1, 0]];
-        for i in 0..4 {
-            for j in 0..4 {
-                assert_eq!(d.hops(i, j), expect[i][j], "({i},{j})");
+        for (i, row) in expect.iter().enumerate() {
+            for (j, &hops) in row.iter().enumerate() {
+                assert_eq!(d.hops(i, j), hops, "({i},{j})");
             }
         }
         assert_eq!(d.diameter(), 2);
+    }
+
+    #[test]
+    fn from_matrix_accepts_real_apsp_and_rejects_junk() {
+        let d = DistanceMatrix::bfs_all_pairs(&ring(5)).unwrap();
+        let rebuilt = DistanceMatrix::from_matrix(d.clone().into_matrix()).unwrap();
+        assert_eq!(rebuilt, d);
+
+        let mut bad_diag = d.clone().into_matrix();
+        bad_diag.set(1, 1, 3);
+        assert!(DistanceMatrix::from_matrix(bad_diag).is_err());
+
+        let mut asym = d.clone().into_matrix();
+        asym.set(0, 1, 4);
+        assert!(DistanceMatrix::from_matrix(asym).is_err());
+
+        let unreachable = SquareMatrix::filled(2, u32::MAX);
+        assert!(DistanceMatrix::from_matrix(unreachable).is_err());
     }
 
     #[test]

@@ -77,10 +77,10 @@ impl<T> SquareMatrix<T> {
     }
 
     /// Map every element through `f`, producing a new matrix.
-    pub fn map<U, F: FnMut(&T) -> U>(&self, mut f: F) -> SquareMatrix<U> {
+    pub fn map<U, F: FnMut(&T) -> U>(&self, f: F) -> SquareMatrix<U> {
         SquareMatrix {
             n: self.n,
-            data: self.data.iter().map(|v| f(v)).collect(),
+            data: self.data.iter().map(f).collect(),
         }
     }
 }

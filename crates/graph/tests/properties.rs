@@ -99,7 +99,7 @@ proptest! {
                 prop_assert_eq!(u64::from(bfs.hops(i, j)), fw.get(i, j));
             }
         }
-        prop_assert!(u64::from(bfs.diameter()) <= n as u64 - 1);
+        prop_assert!(u64::from(bfs.diameter()) < n as u64);
     }
 
     #[test]
@@ -107,7 +107,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = random_connected(n, p, &mut rng).unwrap();
         prop_assert!(is_connected(&g));
-        prop_assert_eq!(connected_components(&g).len(), 1.min(n.max(1)));
+        prop_assert_eq!(connected_components(&g).len(), 1);
         prop_assert!(g.edge_count() >= n.saturating_sub(1));
     }
 

@@ -1,0 +1,147 @@
+//! Aggregate summary of a batch-engine run.
+//!
+//! The engine emits one JSONL result per job; this accumulator groups
+//! them by (algorithm, topology) and renders the paper-style
+//! percent-over-lower-bound statistics as a [`Table`] — the batch
+//! counterpart of the per-row experiment tables.
+
+use std::collections::BTreeMap;
+
+use crate::stats::Summary;
+use crate::table::Table;
+
+/// One accumulated group: an (algorithm, topology) pair.
+#[derive(Clone, Debug, Default)]
+struct Group {
+    percents: Vec<f64>,
+    optimal: usize,
+    errors: usize,
+}
+
+/// Accumulates batch job outcomes and renders a summary table.
+#[derive(Clone, Debug, Default)]
+pub struct BatchSummary {
+    groups: BTreeMap<(String, String), Group>,
+}
+
+impl BatchSummary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        BatchSummary::default()
+    }
+
+    /// Record one successful job: its percent over the lower bound and
+    /// whether it was provably optimal.
+    pub fn add(&mut self, algorithm: &str, topology: &str, percent: f64, optimal: bool) {
+        let group = self
+            .groups
+            .entry((algorithm.to_string(), topology.to_string()))
+            .or_default();
+        group.percents.push(percent);
+        if optimal {
+            group.optimal += 1;
+        }
+    }
+
+    /// Record one failed job.
+    pub fn add_error(&mut self, algorithm: &str, topology: &str) {
+        self.groups
+            .entry((algorithm.to_string(), topology.to_string()))
+            .or_default()
+            .errors += 1;
+    }
+
+    /// Total jobs recorded.
+    pub fn len(&self) -> usize {
+        self.groups
+            .values()
+            .map(|g| g.percents.len() + g.errors)
+            .sum()
+    }
+
+    /// `true` iff nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Render the paper-style summary table, one row per
+    /// (algorithm, topology) group, sorted for stable output.
+    pub fn render_table(&self, title: impl Into<String>) -> Table {
+        let mut table = Table::new(
+            title,
+            &[
+                "algorithm",
+                "topology",
+                "jobs",
+                "% mean",
+                "% min",
+                "% max",
+                "optimal",
+                "errors",
+            ],
+        );
+        for ((algorithm, topology), group) in &self.groups {
+            let row = match Summary::of(&group.percents) {
+                Some(s) => vec![
+                    algorithm.clone(),
+                    topology.clone(),
+                    (group.percents.len() + group.errors).to_string(),
+                    format!("{:.1}", s.mean),
+                    format!("{:.1}", s.min),
+                    format!("{:.1}", s.max),
+                    group.optimal.to_string(),
+                    group.errors.to_string(),
+                ],
+                None => vec![
+                    algorithm.clone(),
+                    topology.clone(),
+                    group.errors.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "0".into(),
+                    group.errors.to_string(),
+                ],
+            };
+            table.push_row(row);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_aggregates() {
+        let mut summary = BatchSummary::new();
+        summary.add("paper", "ring(8)", 100.0, true);
+        summary.add("paper", "ring(8)", 110.0, false);
+        summary.add("random", "ring(8)", 150.0, false);
+        summary.add_error("random", "ring(8)");
+        assert_eq!(summary.len(), 4);
+
+        let table = summary.render_table("batch");
+        assert_eq!(table.len(), 2);
+        let rendered = table.render();
+        assert!(rendered.contains("105.0"), "{rendered}");
+        assert!(rendered.contains("150.0"), "{rendered}");
+    }
+
+    #[test]
+    fn empty_summary_renders_empty_table() {
+        let summary = BatchSummary::new();
+        assert!(summary.is_empty());
+        assert_eq!(summary.render_table("x").len(), 0);
+    }
+
+    #[test]
+    fn error_only_group_renders_dashes() {
+        let mut summary = BatchSummary::new();
+        summary.add_error("lee", "mesh(2x4)");
+        let rendered = summary.render_table("batch").render();
+        assert!(rendered.contains('-'), "{rendered}");
+        assert!(rendered.contains("lee"), "{rendered}");
+    }
+}

@@ -85,7 +85,7 @@ impl Gantt {
             let mut subrows: Vec<Vec<&GanttTask>> = Vec::new();
             'bar: for bar in bars {
                 for row in subrows.iter_mut() {
-                    if row.last().map_or(true, |prev| prev.end <= bar.start) {
+                    if row.last().is_none_or(|prev| prev.end <= bar.start) {
                         row.push(bar);
                         continue 'bar;
                     }

@@ -10,12 +10,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod gantt;
 pub mod histogram;
 pub mod records;
 pub mod stats;
 pub mod table;
 
+pub use batch::BatchSummary;
 pub use gantt::{Gantt, GanttTask};
 pub use histogram::Histogram;
 pub use records::ExperimentRecord;

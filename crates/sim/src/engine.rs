@@ -93,7 +93,7 @@ pub fn simulate_heterogeneous(
             right: ns,
         });
     }
-    if slowdown.iter().any(|&f| f == 0) {
+    if slowdown.contains(&0) {
         return Err(GraphError::InvalidParameter(
             "slowdown factors must be >= 1".into(),
         ));
@@ -141,8 +141,8 @@ pub fn simulate_heterogeneous(
     let mut hops_total = 0u64;
     let mut link_wait_total: Time = 0;
 
-    for t in 0..n {
-        pending[t] = problem.predecessors(t).len();
+    for (t, count) in pending.iter_mut().enumerate() {
+        *count = problem.predecessors(t).len();
     }
 
     // Closure-free helpers would need too much plumbing; keep the loop
@@ -155,8 +155,8 @@ pub fn simulate_heterogeneous(
     };
 
     // Seed: source tasks are ready at time 0.
-    for t in 0..n {
-        if pending[t] == 0 {
+    for (t, &count) in pending.iter().enumerate() {
+        if count == 0 {
             let p = proc_of(t);
             ready[p].push(t);
         }

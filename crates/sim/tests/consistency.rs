@@ -8,8 +8,8 @@ use mimd_sim::{simulate, simulate_heterogeneous, SimConfig};
 use mimd_taskgraph::clustering::region::random_region_clustering;
 use mimd_taskgraph::{ClusteredProblemGraph, GeneratorConfig, LayeredDagGenerator};
 use mimd_topology::{
-    binary_tree, chain, cube_connected_cycles, de_bruijn, hypercube, mesh2d, ring, star,
-    torus2d, SystemGraph,
+    binary_tree, chain, cube_connected_cycles, de_bruijn, hypercube, mesh2d, ring, star, torus2d,
+    SystemGraph,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -47,11 +47,15 @@ fn des_equals_analytic_on_every_topology_family() {
         let mut rng = StdRng::seed_from_u64(i as u64);
         for _ in 0..3 {
             let a = Assignment::random(sys.len(), &mut rng);
-            let ana =
-                evaluate_assignment(&graph, &sys, &a, EvaluationModel::Precedence).unwrap();
+            let ana = evaluate_assignment(&graph, &sys, &a, EvaluationModel::Precedence).unwrap();
             let des = simulate(&graph, &sys, &a, SimConfig::paper()).unwrap();
             assert_eq!(des.total, ana.total(), "{}", sys.name());
-            assert_eq!(des.start.as_slice(), ana.schedule.starts(), "{}", sys.name());
+            assert_eq!(
+                des.start.as_slice(),
+                ana.schedule.starts(),
+                "{}",
+                sys.name()
+            );
         }
     }
 }
@@ -67,7 +71,10 @@ fn serialized_des_equals_serialized_analytic_everywhere() {
             &graph,
             &sys,
             &a,
-            SimConfig { serialize_processors: true, link_contention: false },
+            SimConfig {
+                serialize_processors: true,
+                link_contention: false,
+            },
         )
         .unwrap();
         assert_eq!(des.total, ana.total(), "{}", sys.name());
@@ -84,10 +91,18 @@ fn model_extensions_are_monotone() {
         let graph = instance(sys.len(), 300 + i as u64);
         let mut rng = StdRng::seed_from_u64(80 + i as u64);
         let a = Assignment::random(sys.len(), &mut rng);
-        let base = simulate(&graph, &sys, &a, SimConfig::paper()).unwrap().total;
+        let base = simulate(&graph, &sys, &a, SimConfig::paper())
+            .unwrap()
+            .total;
         for config in [
-            SimConfig { serialize_processors: true, link_contention: false },
-            SimConfig { serialize_processors: false, link_contention: true },
+            SimConfig {
+                serialize_processors: true,
+                link_contention: false,
+            },
+            SimConfig {
+                serialize_processors: false,
+                link_contention: true,
+            },
             SimConfig::realistic(),
         ] {
             let t = simulate(&graph, &sys, &a, config).unwrap().total;
@@ -106,7 +121,9 @@ fn uniform_slowdown_scales_compute_only() {
     let graph = instance(4, 7);
     let mut rng = StdRng::seed_from_u64(7);
     let a = Assignment::random(4, &mut rng);
-    let base = simulate(&graph, &sys, &a, SimConfig::paper()).unwrap().total;
+    let base = simulate(&graph, &sys, &a, SimConfig::paper())
+        .unwrap()
+        .total;
     for k in [2u32, 3] {
         let slow = vec![k; 4];
         let t = simulate_heterogeneous(&graph, &sys, &a, SimConfig::paper(), &slow)
@@ -124,7 +141,12 @@ fn message_accounting_is_exact() {
         let mut rng = StdRng::seed_from_u64(90 + i as u64);
         let a = Assignment::random(sys.len(), &mut rng);
         let rep = simulate(&graph, &sys, &a, SimConfig::paper()).unwrap();
-        assert_eq!(rep.messages_sent, graph.cross_edges().count(), "{}", sys.name());
+        assert_eq!(
+            rep.messages_sent,
+            graph.cross_edges().count(),
+            "{}",
+            sys.name()
+        );
         // Total hops = sum over cross edges of the assigned distance.
         let expected: u64 = graph
             .cross_edges()

@@ -94,11 +94,10 @@ pub fn comm_greedy_clustering(
     // Compact root ids to 0..na.
     let mut id_of_root: HashMap<usize, usize> = HashMap::new();
     let mut cluster_of = vec![0usize; np];
-    for t in 0..np {
+    for (t, cluster) in cluster_of.iter_mut().enumerate() {
         let r = find(&mut parent, t);
         let next = id_of_root.len();
-        let id = *id_of_root.entry(r).or_insert(next);
-        cluster_of[t] = id;
+        *cluster = *id_of_root.entry(r).or_insert(next);
     }
     Clustering::new(cluster_of)
 }

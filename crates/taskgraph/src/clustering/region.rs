@@ -95,8 +95,7 @@ pub fn random_region_clustering(
         let neighbor_cluster = adj[t]
             .iter()
             .map(|&x| cluster_of[x])
-            .filter(|&c| c != usize::MAX)
-            .next();
+            .find(|&c| c != usize::MAX);
         let c = neighbor_cluster.unwrap_or_else(|| rng.gen_range(0..na));
         cluster_of[t] = c;
         unassigned.pop();

@@ -135,9 +135,11 @@ impl LayeredDagGenerator {
             next += width;
         }
         let mut g = WeightedDigraph::new(c.tasks);
-        let edge_w = |rng: &mut dyn rand::RngCore| -> Weight {
+        // A plain fn (not a dyn-RngCore closure): `gen_range` needs a
+        // sized receiver.
+        fn edge_w<R: Rng>(c: &GeneratorConfig, rng: &mut R) -> Weight {
             rng.gen_range(c.edge_weight.0..=c.edge_weight.1)
-        };
+        }
         for li in 0..layers.len() {
             for (pos, &u) in layers[li].iter().enumerate() {
                 // Next-layer edges (optionally restricted to a locality
@@ -155,7 +157,7 @@ impl LayeredDagGenerator {
                     };
                     for &v in &next[lo..=hi] {
                         if rng.gen_bool(c.p_forward) {
-                            let w = edge_w(rng);
+                            let w = edge_w(c, rng);
                             g.add_edge(u, v, w).expect("layered edges are acyclic");
                         }
                     }
@@ -164,7 +166,7 @@ impl LayeredDagGenerator {
                 for later in layers.iter().skip(li + 2) {
                     for &v in later {
                         if rng.gen_bool(c.p_skip) {
-                            let w = edge_w(rng);
+                            let w = edge_w(c, rng);
                             g.add_edge(u, v, w).expect("layered edges are acyclic");
                         }
                     }
@@ -182,7 +184,7 @@ impl LayeredDagGenerator {
                             Some(_) => prev[pos * prev.len() / layers[li].len().max(1)],
                             None => prev[rng.gen_range(0..prev.len())],
                         };
-                        let w = edge_w(rng);
+                        let w = edge_w(c, rng);
                         g.add_edge(u, v, w).expect("layered edges are acyclic");
                     }
                 }

@@ -54,9 +54,7 @@ pub fn gaussian_elimination(
     let total = pivots + (n - 1) * n / 2;
     let mut g = WeightedDigraph::new(total);
     let mut sizes = vec![update_time; total];
-    for k in 0..pivots {
-        sizes[k] = pivot_time;
-    }
+    sizes[..pivots].fill(pivot_time);
     for k in 0..pivots {
         for j in (k + 1)..n {
             let u = update_id(k, j);

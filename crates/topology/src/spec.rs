@@ -82,6 +82,14 @@ impl TopologySpec {
         }
     }
 
+    /// `true` iff building this spec consumes the RNG (and therefore
+    /// different seeds yield different machines). Kept next to
+    /// [`TopologySpec::build`] so a new stochastic variant updates both
+    /// or fails review in one place; topology caches key on this.
+    pub fn is_stochastic(&self) -> bool {
+        matches!(*self, TopologySpec::Random { .. })
+    }
+
     /// Build the topology. Only [`TopologySpec::Random`] consumes the RNG;
     /// the deterministic shapes ignore it.
     pub fn build(&self, rng: &mut impl Rng) -> Result<SystemGraph, GraphError> {

@@ -45,6 +45,46 @@ impl SystemGraph {
         })
     }
 
+    /// Wrap a topology together with a precomputed APSP matrix, skipping
+    /// the BFS sweep. The matrix must have the graph's node count and
+    /// agree with the graph on adjacency (distance 1 ⇔ edge); callers
+    /// that cache distance matrices across requests (the batch engine's
+    /// topology cache) use this to share artifacts instead of
+    /// recomputing them per job.
+    pub fn with_distances(
+        name: impl Into<String>,
+        graph: UnGraph,
+        distances: DistanceMatrix,
+    ) -> Result<Self, GraphError> {
+        if graph.node_count() == 0 {
+            return Err(GraphError::InvalidParameter(
+                "system graph needs >= 1 node".into(),
+            ));
+        }
+        if distances.n() != graph.node_count() {
+            return Err(GraphError::SizeMismatch {
+                left: distances.n(),
+                right: graph.node_count(),
+            });
+        }
+        for u in 0..graph.node_count() {
+            for v in 0..graph.node_count() {
+                if (distances.hops(u, v) == 1) != graph.has_edge(u, v) {
+                    return Err(GraphError::InvalidParameter(format!(
+                        "distance matrix disagrees with adjacency at ({u},{v})"
+                    )));
+                }
+            }
+        }
+        let degrees = graph.degree_vector();
+        Ok(SystemGraph {
+            name: name.into(),
+            graph,
+            distances,
+            degrees,
+        })
+    }
+
     /// Human-readable topology name (e.g. `"hypercube(d=3)"`), used in
     /// reports.
     pub fn name(&self) -> &str {
@@ -140,6 +180,40 @@ mod tests {
         assert_eq!(s.diameter(), 2);
         assert!(s.adjacent(3, 0));
         assert!(!s.adjacent(0, 2));
+    }
+
+    #[test]
+    fn with_distances_reuses_a_precomputed_matrix() {
+        let base = ring4();
+        let rebuilt = SystemGraph::with_distances(
+            "ring4-shared",
+            base.graph().clone(),
+            base.distances().clone(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.distances(), base.distances());
+        assert_eq!(rebuilt.degrees(), base.degrees());
+        assert_eq!(rebuilt.diameter(), base.diameter());
+
+        // Wrong size is rejected.
+        let mut small = UnGraph::new(2);
+        small.add_edge(0, 1).unwrap();
+        assert!(SystemGraph::with_distances("bad", small, base.distances().clone()).is_err());
+
+        // A matrix contradicting adjacency is rejected.
+        let other = {
+            let mut g = UnGraph::new(4);
+            for i in 0..3 {
+                g.add_edge(i, i + 1).unwrap();
+            }
+            SystemGraph::new("chain4", g).unwrap()
+        };
+        assert!(SystemGraph::with_distances(
+            "bad",
+            base.graph().clone(),
+            other.distances().clone()
+        )
+        .is_err());
     }
 
     #[test]

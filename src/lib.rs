@@ -1,6 +1,7 @@
 //! Facade crate: re-exports the whole MIMD mapping-strategy workspace.
 pub use mimd_baselines as baselines;
 pub use mimd_core as core;
+pub use mimd_engine as engine;
 pub use mimd_graph as graph;
 pub use mimd_report as report;
 pub use mimd_sim as sim;

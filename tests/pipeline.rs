@@ -28,7 +28,7 @@ fn random_instance(np: usize, ns: usize, seed: u64) -> ClusteredProblemGraph {
 
 #[test]
 fn full_pipeline_on_every_topology_family() {
-    let systems = vec![
+    let systems = [
         hypercube(3).unwrap(),
         mesh2d(2, 4).unwrap(),
         torus2d(2, 4).unwrap(),
@@ -53,7 +53,7 @@ fn full_pipeline_on_every_topology_family() {
             system.name()
         );
         // The final assignment is a bijection.
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for c in 0..8 {
             let s = result.assignment.sys_of(c);
             assert!(!seen[s], "{}: processor used twice", system.name());

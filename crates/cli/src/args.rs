@@ -70,7 +70,8 @@ impl Flags {
 
 /// Parse the `--spec` mini-language into a [`TopologySpec`]:
 /// `hypercube:3`, `mesh:3x4`, `torus:3x4`, `ring:8`, `chain:8`,
-/// `star:8`, `tree:15`, `complete:8`, `random:16@0.1`.
+/// `star:8`, `tree:15`, `complete:8`, `fattree:4x4` (levels x arity),
+/// `clusters:8x32` (groups x group size), `random:16@0.1`.
 pub fn parse_topology(spec: &str) -> Result<TopologySpec, String> {
     let (kind, rest) = spec
         .split_once(':')
@@ -105,6 +106,22 @@ pub fn parse_topology(spec: &str) -> Result<TopologySpec, String> {
         "complete" => Ok(TopologySpec::Complete {
             n: rest.parse().map_err(|_| bad("n"))?,
         }),
+        "fattree" => {
+            let (l, a) = rest.split_once('x').ok_or_else(|| bad("levels x arity"))?;
+            Ok(TopologySpec::FatTree {
+                levels: l.parse().map_err(|_| bad("levels"))?,
+                arity: a.parse().map_err(|_| bad("arity"))?,
+            })
+        }
+        "clusters" => {
+            let (g, s) = rest
+                .split_once('x')
+                .ok_or_else(|| bad("groups x group_size"))?;
+            Ok(TopologySpec::ClusteredComplete {
+                groups: g.parse().map_err(|_| bad("groups"))?,
+                group_size: s.parse().map_err(|_| bad("group_size"))?,
+            })
+        }
         "random" => {
             let (n, p) = rest.split_once('@').ok_or_else(|| bad("n@p"))?;
             Ok(TopologySpec::Random {
@@ -212,6 +229,22 @@ mod tests {
             parse_topology("random:16@0.1").unwrap(),
             TopologySpec::Random { n: 16, p: 0.1 }
         );
+        assert_eq!(
+            parse_topology("fattree:4x4").unwrap(),
+            TopologySpec::FatTree {
+                levels: 4,
+                arity: 4
+            }
+        );
+        assert_eq!(
+            parse_topology("clusters:8x32").unwrap(),
+            TopologySpec::ClusteredComplete {
+                groups: 8,
+                group_size: 32
+            }
+        );
+        assert!(parse_topology("fattree:4").is_err());
+        assert!(parse_topology("clusters:x8").is_err());
         assert!(parse_topology("blob:3").is_err());
         assert!(parse_topology("mesh:3").is_err());
         assert!(parse_topology("nocolon").is_err());

@@ -26,6 +26,8 @@ commands:
   topology   --spec <kind:params> [--seed <u64>] [--dot]
   map        (--tasks <n> | --workload <kind:params> | --load <file.json>)
              --spec <kind:params> [--seed <u64>] [--reps <n>]
+             [--algorithm <name>] [--direct-threshold <n>]
+             [--refine-rounds <n>]
              [--greedy-clustering] [--serialized] [--gantt]
   simulate   (--tasks <n> | --workload <kind:params>) --spec <kind:params>
              [--seed <u64>] [--contention] [--serialize]
@@ -38,13 +40,17 @@ commands:
              [--summary] [--out <file>]
              — run the cross-product workloads × topologies × algorithms
                × seeds through the engine
+  algorithms (no flags) — list every registry algorithm with a
+               one-line description
   paper      (no flags) — reproduce the worked example's artifacts
 
 topology specs : hypercube:3  mesh:3x4  torus:3x4  ring:8  chain:8
-                 star:8  tree:15  complete:8  random:16@0.1
+                 star:8  tree:15  complete:8  fattree:4x4  clusters:8x32
+                 random:16@0.1
 workload specs : ge:12  stencil:16x8  fft:5  dnc:4  pipe:4x16
                  tasks:96  paper:120
-algorithms     : paper  random  bokhari  lee  annealing  pairwise";
+algorithms     : paper  multilevel  random  bokhari  lee  annealing
+                 pairwise  (see `mimd algorithms`)";
 
 /// Route a command line to its handler.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -66,6 +72,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "map" => cmd_map(&flags),
         "simulate" => cmd_simulate(&flags),
         "sweep" => cmd_sweep(&flags),
+        "algorithms" => cmd_algorithms(&flags),
         "paper" => cmd_paper(&flags),
         other => Err(format!("unknown command '{other}'")),
     }
@@ -155,6 +162,9 @@ fn cmd_map(flags: &Flags) -> Result<(), String> {
         "seed",
         "reps",
         "width",
+        "algorithm",
+        "direct-threshold",
+        "refine-rounds",
         "greedy-clustering",
         "serialized",
         "gantt",
@@ -176,6 +186,19 @@ fn cmd_map(flags: &Flags) -> Result<(), String> {
         random_region_clustering(&problem, system.len(), &mut rng).map_err(|e| e.to_string())?
     };
     let clustered = ClusteredProblemGraph::new(problem, clustering).map_err(|e| e.to_string())?;
+    let algorithm = flags.get("algorithm").unwrap_or("paper");
+    if algorithm != "multilevel" {
+        for only_multilevel in ["direct-threshold", "refine-rounds"] {
+            if flags.has(only_multilevel) {
+                return Err(format!(
+                    "--{only_multilevel} requires --algorithm multilevel"
+                ));
+            }
+        }
+    }
+    if algorithm != "paper" {
+        return map_via_registry(algorithm, &clustered, &system, flags, &mut rng);
+    }
     let model = if flags.has("serialized") {
         EvaluationModel::Serialized
     } else {
@@ -225,19 +248,122 @@ fn cmd_map(flags: &Flags) -> Result<(), String> {
         result.assignment.sys_of_vec()
     );
     if flags.has("gantt") {
-        let eval = evaluate_assignment(&clustered, &system, &result.assignment, model)
-            .map_err(|e| e.to_string())?;
-        let mut gantt = Gantt::new("schedule (paper Figs 6/24 style, horizontal)");
-        for t in 0..clustered.num_tasks() {
-            gantt.push(GanttTask {
-                label: (t + 1).to_string(),
-                processor: result.assignment.sys_of(clustered.cluster_of(t)),
-                start: eval.schedule.start(t),
-                end: eval.schedule.end(t),
-            });
-        }
-        println!("{}", gantt.render(100));
+        print_gantt(&clustered, &system, &result.assignment, model)?;
     }
+    Ok(())
+}
+
+/// Render the schedule of `assignment` as the paper-style horizontal
+/// Gantt chart (`mimd map --gantt`, shared by every algorithm path).
+fn print_gantt(
+    clustered: &ClusteredProblemGraph,
+    system: &mimd_topology::SystemGraph,
+    assignment: &Assignment,
+    model: EvaluationModel,
+) -> Result<(), String> {
+    let eval =
+        evaluate_assignment(clustered, system, assignment, model).map_err(|e| e.to_string())?;
+    let mut gantt = Gantt::new("schedule (paper Figs 6/24 style, horizontal)");
+    for t in 0..clustered.num_tasks() {
+        gantt.push(GanttTask {
+            label: (t + 1).to_string(),
+            processor: assignment.sys_of(clustered.cluster_of(t)),
+            start: eval.schedule.start(t),
+            end: eval.schedule.end(t),
+        });
+    }
+    println!("{}", gantt.render(100));
+    Ok(())
+}
+
+/// The non-paper `mimd map` path: run any registry algorithm (selected
+/// with `--algorithm`) on the already-built instance and print the
+/// shared metrics. Multilevel accepts `--direct-threshold` and
+/// `--refine-rounds`; every algorithm reports precedence-model totals.
+fn map_via_registry(
+    algorithm: &str,
+    clustered: &ClusteredProblemGraph,
+    system: &mimd_topology::SystemGraph,
+    flags: &Flags,
+    rng: &mut StdRng,
+) -> Result<(), String> {
+    if flags.has("serialized") {
+        return Err("--serialized only applies to --algorithm paper".into());
+    }
+    let opt_num = |name: &str| -> Result<Option<usize>, String> {
+        flags
+            .get(name)
+            .map(|v| v.parse().map_err(|_| format!("bad --{name} '{v}'")))
+            .transpose()
+    };
+    // cmd_map already rejected the multilevel-only flags for every
+    // other algorithm.
+    let spec = if algorithm == "multilevel" {
+        mimd_engine::AlgorithmSpec::Multilevel {
+            direct_threshold: opt_num("direct-threshold")?,
+            refine_rounds: opt_num("refine-rounds")?,
+        }
+    } else {
+        mimd_engine::AlgorithmSpec::parse(algorithm)?
+    };
+    let lower_bound = mimd_core::IdealSchedule::derive(clustered).lower_bound();
+    let algo = mimd_engine::instantiate(&spec, system.len());
+    let outcome = algo
+        .run(clustered, system, lower_bound, rng)
+        .map_err(|e| e.to_string())?;
+    let reps = flags.num("reps", 32usize)?;
+    let (rand_mean, rand_min, rand_max) =
+        random_mapping_average(clustered, system, EvaluationModel::Precedence, reps, rng)
+            .map_err(|e| e.to_string())?;
+
+    let mut table = Table::new(
+        format!("{} mapping onto {}", algo.name(), system.name()),
+        &["metric", "value"],
+    );
+    table.push_row(vec!["lower bound".into(), lower_bound.to_string()]);
+    table.push_row(vec!["final total".into(), outcome.total.to_string()]);
+    table.push_row(vec![
+        "% over lower bound".into(),
+        format!("{:.1}", 100.0 * outcome.total as f64 / lower_bound as f64),
+    ]);
+    table.push_row(vec![
+        "provably optimal".into(),
+        (outcome.total == lower_bound).to_string(),
+    ]);
+    table.push_row(vec![
+        "search effort (evaluations)".into(),
+        outcome.evaluations.to_string(),
+    ]);
+    table.push_row(vec![
+        format!("random mapping mean (x{reps})"),
+        format!("{rand_mean:.1} (min {rand_min}, max {rand_max})"),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "assignment (cluster -> processor): {:?}",
+        outcome.assignment.sys_of_vec()
+    );
+    if flags.has("gantt") {
+        print_gantt(
+            clustered,
+            system,
+            &outcome.assignment,
+            EvaluationModel::Precedence,
+        )?;
+    }
+    Ok(())
+}
+
+fn cmd_algorithms(flags: &Flags) -> Result<(), String> {
+    flags.allow_only(&[])?;
+    let mut table = Table::new(
+        "algorithm registry (mimd map --algorithm, batch/sweep job specs)",
+        &["name", "description"],
+    );
+    for &(name, description) in mimd_engine::algorithm_catalog() {
+        table.push_row(vec![name.into(), description.into()]);
+    }
+    println!("{}", table.render());
     Ok(())
 }
 
@@ -531,6 +657,102 @@ mod tests {
         ])
         .unwrap();
         run(&["paper"]).unwrap();
+    }
+
+    #[test]
+    fn map_with_registry_algorithms_runs() {
+        run(&[
+            "map",
+            "--tasks",
+            "80",
+            "--spec",
+            "mesh:6x6",
+            "--algorithm",
+            "multilevel",
+            "--direct-threshold",
+            "8",
+            "--refine-rounds",
+            "4",
+            "--reps",
+            "2",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        run(&[
+            "map",
+            "--workload",
+            "fft:3",
+            "--spec",
+            "fattree:3x3",
+            "--algorithm",
+            "random",
+            "--reps",
+            "2",
+        ])
+        .unwrap();
+        run(&[
+            "map",
+            "--tasks",
+            "40",
+            "--spec",
+            "clusters:4x4",
+            "--reps",
+            "2",
+            "--seed",
+            "1",
+        ])
+        .unwrap();
+        // Misuse is rejected.
+        assert!(run(&[
+            "map",
+            "--tasks",
+            "40",
+            "--spec",
+            "ring:8",
+            "--algorithm",
+            "bogus"
+        ])
+        .is_err());
+        assert!(run(&[
+            "map",
+            "--tasks",
+            "40",
+            "--spec",
+            "ring:8",
+            "--direct-threshold",
+            "4"
+        ])
+        .is_err());
+        assert!(run(&[
+            "map",
+            "--tasks",
+            "40",
+            "--spec",
+            "ring:8",
+            "--algorithm",
+            "random",
+            "--refine-rounds",
+            "4"
+        ])
+        .is_err());
+        assert!(run(&[
+            "map",
+            "--tasks",
+            "40",
+            "--spec",
+            "ring:8",
+            "--algorithm",
+            "multilevel",
+            "--serialized"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn algorithms_lists_the_registry() {
+        run(&["algorithms"]).unwrap();
+        assert!(run(&["algorithms", "--verbose"]).is_err());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use mimd_baselines::AnnealingSchedule;
 use mimd_core::{Mapper, MapperConfig};
 use mimd_graph::error::GraphError;
 use mimd_graph::Time;
+use mimd_multilevel::{MultilevelConfig, MultilevelMapper};
 use mimd_taskgraph::ClusteredProblemGraph;
 use mimd_topology::SystemGraph;
 
@@ -46,6 +47,57 @@ impl MappingAlgorithm for PaperStrategy {
     }
 }
 
+/// The multilevel V-cycle (`mimd-multilevel`) adapted to the uniform
+/// trait surface.
+#[derive(Clone, Debug, Default)]
+pub struct MultilevelStrategy {
+    /// V-cycle configuration (multilevel defaults unless overridden).
+    pub config: MultilevelConfig,
+}
+
+impl MappingAlgorithm for MultilevelStrategy {
+    fn name(&self) -> &'static str {
+        "multilevel"
+    }
+
+    fn run(
+        &self,
+        graph: &ClusteredProblemGraph,
+        system: &SystemGraph,
+        _lower_bound: Time,
+        rng: &mut StdRng,
+    ) -> Result<AlgorithmOutcome, GraphError> {
+        let result = MultilevelMapper::with_config(self.config.clone()).map(graph, system, rng)?;
+        Ok(AlgorithmOutcome {
+            assignment: result.assignment,
+            total: result.total_time,
+            evaluations: result.evaluations,
+        })
+    }
+}
+
+/// Every algorithm the registry can instantiate, with a one-line
+/// description — the source of the `mimd algorithms` listing. Kept next
+/// to [`instantiate`] so a new variant updates both or fails the
+/// round-trip test below.
+pub fn algorithm_catalog() -> &'static [(&'static str, &'static str)] {
+    &[
+        (
+            "paper",
+            "the paper's pipeline: ideal schedule, critical edges, greedy placement, randomized refinement",
+        ),
+        (
+            "multilevel",
+            "coarsen-map-refine V-cycle: heavy-edge coarsening, flat mapping at the top, group-local refinement while prolonging",
+        ),
+        ("random", "best of k uniformly random placements (the paper's baseline)"),
+        ("bokhari", "Bokhari's cardinality maximization with probabilistic jumps"),
+        ("lee", "Lee & Aggarwal's phased communication-cost minimization with restarts"),
+        ("annealing", "simulated annealing on total time (quench or slow schedule)"),
+        ("pairwise", "best-improvement pairwise exchange under an evaluation budget"),
+    ]
+}
+
 /// Instantiate the algorithm a spec names. `ns` sizes schedule-dependent
 /// defaults (the annealing schedules scale with the machine).
 pub fn instantiate(spec: &AlgorithmSpec, ns: usize) -> Box<dyn MappingAlgorithm> {
@@ -68,6 +120,19 @@ pub fn instantiate(spec: &AlgorithmSpec, ns: usize) -> Box<dyn MappingAlgorithm>
         }),
         AlgorithmSpec::Pairwise { max_evaluations } => {
             Box::new(PairwiseExchange { max_evaluations })
+        }
+        AlgorithmSpec::Multilevel {
+            direct_threshold,
+            refine_rounds,
+        } => {
+            let defaults = MultilevelConfig::default();
+            Box::new(MultilevelStrategy {
+                config: MultilevelConfig {
+                    direct_threshold: direct_threshold.unwrap_or(defaults.direct_threshold),
+                    refine_rounds: refine_rounds.unwrap_or(defaults.refine_rounds),
+                    mapper: defaults.mapper,
+                },
+            })
         }
     }
 }
@@ -94,10 +159,67 @@ mod tests {
             AlgorithmSpec::Pairwise {
                 max_evaluations: 32,
             },
+            AlgorithmSpec::Multilevel {
+                direct_threshold: None,
+                refine_rounds: None,
+            },
         ];
         for spec in &specs {
             assert_eq!(instantiate(spec, 4).name(), spec.name());
         }
+    }
+
+    #[test]
+    fn catalog_round_trips_with_the_parser() {
+        // Every catalog entry parses, and its parse has the same name.
+        for &(name, description) in algorithm_catalog() {
+            let spec = AlgorithmSpec::parse(name)
+                .unwrap_or_else(|e| panic!("catalog name '{name}' does not parse: {e}"));
+            assert_eq!(spec.name(), name);
+            assert!(!description.is_empty());
+        }
+        // Conversely, every spec the parser knows appears in the catalog.
+        for name in [
+            "paper",
+            "random",
+            "bokhari",
+            "lee",
+            "annealing",
+            "pairwise",
+            "multilevel",
+        ] {
+            assert!(
+                algorithm_catalog().iter().any(|&(n, _)| n == name),
+                "'{name}' missing from the catalog"
+            );
+        }
+    }
+
+    #[test]
+    fn multilevel_strategy_runs_a_real_vcycle() {
+        use mimd_taskgraph::clustering::region::random_region_clustering;
+        use mimd_taskgraph::{GeneratorConfig, LayeredDagGenerator};
+        let mut rng = StdRng::seed_from_u64(8);
+        let system = mimd_topology::torus2d(8, 8).unwrap();
+        let gen = LayeredDagGenerator::new(GeneratorConfig {
+            tasks: 128,
+            ..GeneratorConfig::default()
+        })
+        .unwrap();
+        let problem = gen.generate(&mut rng);
+        let clustering = random_region_clustering(&problem, 64, &mut rng).unwrap();
+        let graph = ClusteredProblemGraph::new(problem, clustering).unwrap();
+        let lb = IdealSchedule::derive(&graph).lower_bound();
+        let algo = instantiate(
+            &AlgorithmSpec::Multilevel {
+                direct_threshold: Some(16),
+                refine_rounds: Some(8),
+            },
+            64,
+        );
+        let out = algo.run(&graph, &system, lb, &mut rng).unwrap();
+        assert!(out.total >= lb);
+        assert_eq!(out.assignment.len(), 64);
     }
 
     #[test]

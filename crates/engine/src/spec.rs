@@ -245,6 +245,15 @@ pub enum AlgorithmSpec {
         /// Evaluation budget.
         max_evaluations: usize,
     },
+    /// Multilevel coarsen–map–refine V-cycle around the paper pipeline.
+    Multilevel {
+        /// Machine size at/below which the flat mapper runs directly;
+        /// `None` uses the multilevel default (32).
+        direct_threshold: Option<usize>,
+        /// Group-local refinement rounds per uncoarsening level;
+        /// `None` uses the multilevel default (16).
+        refine_rounds: Option<usize>,
+    },
 }
 
 impl AlgorithmSpec {
@@ -257,6 +266,7 @@ impl AlgorithmSpec {
             AlgorithmSpec::Lee { .. } => "lee",
             AlgorithmSpec::Annealing { .. } => "annealing",
             AlgorithmSpec::Pairwise { .. } => "pairwise",
+            AlgorithmSpec::Multilevel { .. } => "multilevel",
         }
     }
 
@@ -273,9 +283,13 @@ impl AlgorithmSpec {
             "pairwise" => Ok(AlgorithmSpec::Pairwise {
                 max_evaluations: 256,
             }),
+            "multilevel" => Ok(AlgorithmSpec::Multilevel {
+                direct_threshold: None,
+                refine_rounds: None,
+            }),
             other => Err(format!(
                 "unknown algorithm '{other}' \
-                 (paper|random|bokhari|lee|annealing|pairwise)"
+                 (paper|random|bokhari|lee|annealing|pairwise|multilevel)"
             )),
         }
     }
@@ -449,7 +463,15 @@ mod tests {
 
     #[test]
     fn algorithm_parse_covers_the_portfolio() {
-        for name in ["paper", "random", "bokhari", "lee", "annealing", "pairwise"] {
+        for name in [
+            "paper",
+            "random",
+            "bokhari",
+            "lee",
+            "annealing",
+            "pairwise",
+            "multilevel",
+        ] {
             assert_eq!(AlgorithmSpec::parse(name).unwrap().name(), name);
         }
         assert!(AlgorithmSpec::parse("magic").is_err());

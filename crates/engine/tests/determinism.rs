@@ -20,6 +20,10 @@ fn portfolio_batch() -> Vec<JobSpec> {
         AlgorithmSpec::Pairwise {
             max_evaluations: 64,
         },
+        AlgorithmSpec::Multilevel {
+            direct_threshold: None,
+            refine_rounds: None,
+        },
     ];
     let instances = [
         (
@@ -53,6 +57,27 @@ fn portfolio_batch() -> Vec<JobSpec> {
                 });
             }
         }
+    }
+    // The small instances above exercise multilevel's direct path only;
+    // add jobs big enough (ns = 64 > direct_threshold 32) for real
+    // V-cycles, so the determinism contract covers coarsen + prolong +
+    // group-local refinement too.
+    for seed in 0..3u64 {
+        jobs.push(JobSpec {
+            id: None,
+            workload: WorkloadSpec::Layered {
+                tasks: 160,
+                width: None,
+            },
+            clustering: None,
+            topology: TopologySpec::Torus { rows: 8, cols: 8 },
+            topology_seed: None,
+            algorithm: AlgorithmSpec::Multilevel {
+                direct_threshold: Some(8),
+                refine_rounds: Some(6),
+            },
+            seed,
+        });
     }
     jobs
 }

@@ -1,0 +1,123 @@
+//! Flat pipeline vs. multilevel V-cycle: wall-clock and mapping
+//! quality at `ns ∈ {64, 256, 1024}` on mesh, torus and hypercube.
+//!
+//! The acceptance bar for the multilevel subsystem: ≥ 5× faster than
+//! the flat pipeline at `ns = 1024` while staying within 10% of flat
+//! quality (total execution time) at `ns = 64`. The benchmark groups
+//! time both mappers per machine; the `summary` target prints a table
+//! with the measured speedups and quality ratios so the claim is
+//! checkable from one `cargo bench` run.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mimd_core::Mapper;
+use mimd_engine::{ClusteringSpec, WorkloadSpec};
+use mimd_multilevel::MultilevelMapper;
+use mimd_taskgraph::ClusteredProblemGraph;
+use mimd_topology::{SystemGraph, TopologySpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The benchmark grid: three machine families at three sizes.
+fn machines() -> Vec<SystemGraph> {
+    let specs = [
+        TopologySpec::Mesh { rows: 8, cols: 8 },
+        TopologySpec::Torus { rows: 8, cols: 8 },
+        TopologySpec::Hypercube { dim: 6 },
+        TopologySpec::Mesh { rows: 16, cols: 16 },
+        TopologySpec::Torus { rows: 16, cols: 16 },
+        TopologySpec::Hypercube { dim: 8 },
+        TopologySpec::Mesh { rows: 32, cols: 32 },
+        TopologySpec::Torus { rows: 32, cols: 32 },
+        TopologySpec::Hypercube { dim: 10 },
+    ];
+    let mut rng = StdRng::seed_from_u64(0);
+    specs.iter().map(|s| s.build(&mut rng).unwrap()).collect()
+}
+
+/// One instance per machine: a paper-regime DAG with `np = 2 ns`,
+/// region-clustered to `na = ns` (the batch engine's defaults).
+fn instance(ns: usize) -> ClusteredProblemGraph {
+    let mut rng = StdRng::seed_from_u64(1991);
+    let problem = WorkloadSpec::PaperRegime { tasks: 2 * ns }
+        .build(&mut rng)
+        .unwrap();
+    let clustering = ClusteringSpec::Region
+        .build(&problem, ns, &mut rng)
+        .unwrap();
+    ClusteredProblemGraph::new(problem, clustering).unwrap()
+}
+
+fn bench_flat_vs_multilevel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map");
+    group.sample_size(2);
+    for system in machines() {
+        let ns = system.len();
+        let graph = instance(ns);
+        group.bench_with_input(BenchmarkId::new("flat", system.name()), &ns, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                Mapper::new().map(&graph, &system, &mut rng).unwrap()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("multilevel", system.name()),
+            &ns,
+            |b, _| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(7);
+                    MultilevelMapper::new()
+                        .map(&graph, &system, &mut rng)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Head-to-head summary: one timed run of each mapper per machine,
+/// printing speedup and quality side by side.
+fn summary(_c: &mut Criterion) {
+    println!(
+        "{:<16} {:>5} {:>12} {:>12} {:>9} {:>9} {:>9} {:>9}",
+        "machine", "ns", "flat ms", "multi ms", "speedup", "flat %lb", "multi %lb", "quality"
+    );
+    for system in machines() {
+        let ns = system.len();
+        let graph = instance(ns);
+
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(7);
+        let flat = Mapper::new().map(&graph, &system, &mut rng).unwrap();
+        let flat_elapsed = start.elapsed();
+
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(7);
+        let multi = MultilevelMapper::new()
+            .map(&graph, &system, &mut rng)
+            .unwrap();
+        let multi_elapsed = start.elapsed();
+
+        let lb = flat.lower_bound as f64;
+        println!(
+            "{:<16} {:>5} {:>12.1} {:>12.1} {:>8.1}x {:>8.1}% {:>8.1}% {:>9.3}",
+            system.name(),
+            ns,
+            flat_elapsed.as_secs_f64() * 1e3,
+            multi_elapsed.as_secs_f64() * 1e3,
+            flat_elapsed.as_secs_f64() / multi_elapsed.as_secs_f64(),
+            100.0 * flat.total_time as f64 / lb,
+            100.0 * multi.total_time as f64 / lb,
+            multi.total_time as f64 / flat.total_time as f64,
+        );
+    }
+    println!(
+        "\nacceptance: speedup >= 5x at ns = 1024; quality (multi/flat total) <= 1.10 at ns = 64"
+    );
+}
+
+criterion_group!(benches, bench_flat_vs_multilevel, summary);
+criterion_main!(benches);

@@ -16,6 +16,8 @@
 //! * [`dag`] — topological ordering, levels, longest paths, reachability.
 //! * [`apsp`] — all-pairs shortest paths (unweighted BFS and
 //!   Floyd–Warshall), producing the paper's `shortest[ns][ns]` matrix.
+//! * [`matching`] — deterministic greedy / heavy-edge matchings, the
+//!   contraction primitive of multilevel coarsening.
 //! * [`generators`] — seeded random undirected connected graphs for the
 //!   "randomly produced topologies" experiments (Table 3 / Fig 27).
 //! * [`dot`] — Graphviz export for debugging and documentation.
@@ -34,6 +36,7 @@ pub mod digraph;
 pub mod dot;
 pub mod error;
 pub mod generators;
+pub mod matching;
 pub mod matrix;
 pub mod properties;
 pub mod ungraph;

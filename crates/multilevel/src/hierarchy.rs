@@ -1,0 +1,333 @@
+//! Building the coarsening hierarchy: matched processor groups on the
+//! system side, heavy-edge cluster merges on the problem side, one
+//! [`Coarsening`] record per level describing the projection maps.
+//!
+//! Every level keeps the paper's `na = ns` invariant: the system graph
+//! is contracted along a maximal matching into `m` connected processor
+//! groups, and the clustering is merged by heavy-edge matching on the
+//! abstract graph until exactly `m` clusters remain. Both projections
+//! conserve weight — task weight trivially (tasks never merge), cut
+//! weight as `fine_cut = coarse_cut + internalized`.
+
+use mimd_graph::error::GraphError;
+use mimd_graph::matching::{greedy_matching, heavy_edge_matching};
+use mimd_graph::ungraph::UnGraph;
+use mimd_graph::{NodeId, Weight};
+use mimd_taskgraph::{AbstractGraph, ClusterId, ClusteredProblemGraph};
+use mimd_topology::SystemGraph;
+
+/// Coarsening stalls (and the hierarchy stops growing) when a step
+/// shrinks the machine by less than this factor — e.g. a star topology,
+/// where a matching can only ever remove one node per level.
+const STALL_RATIO: f64 = 0.9;
+
+/// The projection maps from one level to the next-coarser one.
+#[derive(Clone, Debug)]
+pub struct Coarsening {
+    /// `cluster_map[c]` = coarse cluster absorbing fine cluster `c`.
+    pub cluster_map: Vec<ClusterId>,
+    /// `proc_map[s]` = coarse processor (group) containing fine
+    /// processor `s`.
+    pub proc_map: Vec<NodeId>,
+    /// `groups[g]` = fine member processors of coarse processor `g`,
+    /// ascending. Every group is a connected subgraph of the fine
+    /// system (a matched pair or a singleton).
+    pub groups: Vec<Vec<NodeId>>,
+    /// Cross-cluster weight that became intra-cluster in this step.
+    pub internalized_weight: Weight,
+}
+
+/// One level of the hierarchy: a clustered problem graph and a system
+/// graph with matching sizes (`na == ns`).
+#[derive(Clone, Debug)]
+pub struct Level {
+    /// The (possibly coarsened) clustered problem graph.
+    pub graph: ClusteredProblemGraph,
+    /// The (possibly contracted) system graph.
+    pub system: SystemGraph,
+}
+
+/// The whole V-cycle input: `levels[0]` is the finest (original)
+/// problem, `levels.last()` the top level the flat mapper solves;
+/// `coarsenings[k]` maps level `k` onto level `k + 1`.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    levels: Vec<Level>,
+    coarsenings: Vec<Coarsening>,
+}
+
+impl Hierarchy {
+    /// Coarsen `(graph, system)` until the machine has at most
+    /// `target_ns` processors or a step stops making progress
+    /// (shrinkage above [`STALL_RATIO`]). Requires `na == ns`; the
+    /// result always contains at least the finest level.
+    pub fn build(
+        graph: &ClusteredProblemGraph,
+        system: &SystemGraph,
+        target_ns: usize,
+    ) -> Result<Hierarchy, GraphError> {
+        if graph.num_clusters() != system.len() {
+            return Err(GraphError::SizeMismatch {
+                left: graph.num_clusters(),
+                right: system.len(),
+            });
+        }
+        let target_ns = target_ns.max(1);
+        let mut levels = vec![Level {
+            graph: graph.clone(),
+            system: system.clone(),
+        }];
+        let mut coarsenings = Vec::new();
+        while levels.last().expect("non-empty").system.len() > target_ns {
+            let current = levels.last().expect("non-empty");
+            match coarsen_step(&current.graph, &current.system, system.name())? {
+                Some((coarsening, coarse)) => {
+                    coarsenings.push(coarsening);
+                    levels.push(coarse);
+                }
+                None => break, // pathological topology (e.g. star): give up early
+            }
+        }
+        Ok(Hierarchy {
+            levels,
+            coarsenings,
+        })
+    }
+
+    /// All levels, finest first.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// The projection maps; `coarsenings()[k]` goes from level `k` to
+    /// level `k + 1`.
+    pub fn coarsenings(&self) -> &[Coarsening] {
+        &self.coarsenings
+    }
+
+    /// The coarsest level (solved directly by the flat mapper).
+    pub fn top(&self) -> &Level {
+        self.levels.last().expect("hierarchy has >= 1 level")
+    }
+
+    /// Number of levels including the finest.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+/// One coarsening step: contract the system along a maximal matching,
+/// then merge clusters (heaviest abstract edges first) down to the same
+/// count. Returns `None` when the matching shrinks the machine by less
+/// than [`STALL_RATIO`] — decided before any problem-side work or coarse
+/// APSP is spent, so stalling topologies cost one matching and nothing
+/// else.
+fn coarsen_step(
+    graph: &ClusteredProblemGraph,
+    system: &SystemGraph,
+    finest_name: &str,
+) -> Result<Option<(Coarsening, Level)>, GraphError> {
+    let n = system.len();
+
+    // --- System side: matched processor groups. -------------------------
+    let pairs = greedy_matching(system.graph());
+    if (n - pairs.len()) as f64 > STALL_RATIO * n as f64 {
+        return Ok(None);
+    }
+    let mut partner = vec![usize::MAX; n];
+    for &(a, b) in &pairs {
+        partner[a] = b;
+        partner[b] = a;
+    }
+    let mut proc_map = vec![usize::MAX; n];
+    let mut groups: Vec<Vec<NodeId>> = Vec::with_capacity(n - pairs.len());
+    for u in 0..n {
+        if proc_map[u] != usize::MAX {
+            continue;
+        }
+        let gid = groups.len();
+        proc_map[u] = gid;
+        let mut members = vec![u];
+        let p = partner[u];
+        if p != usize::MAX {
+            proc_map[p] = gid;
+            members.push(p);
+            members.sort_unstable();
+        }
+        groups.push(members);
+    }
+    let m = groups.len();
+
+    // --- Problem side: merge clusters down to exactly `m`. ---------------
+    let na = graph.num_clusters();
+    let merges_needed = na - m;
+    let abstract_graph = AbstractGraph::new(graph);
+    let weighted_edges: Vec<(NodeId, NodeId, Weight)> = abstract_graph
+        .adjacency()
+        .edges()
+        .map(|(a, b)| (a, b, abstract_graph.pair_weight(a, b)))
+        .collect();
+    let mut chosen = heavy_edge_matching(na, &weighted_edges);
+    chosen.truncate(merges_needed);
+    if chosen.len() < merges_needed {
+        // The abstract graph ran out of edges (or is sparse): pair the
+        // remaining unmerged clusters by ascending id. Merging
+        // non-communicating clusters is harmless — it only zeroes edges
+        // that do not exist.
+        let mut merged = vec![false; na];
+        for &(a, b) in &chosen {
+            merged[a] = true;
+            merged[b] = true;
+        }
+        let free: Vec<ClusterId> = (0..na).filter(|&a| !merged[a]).collect();
+        for pair in free.chunks(2) {
+            if chosen.len() == merges_needed {
+                break;
+            }
+            if let [a, b] = *pair {
+                chosen.push((a, b));
+            }
+        }
+    }
+    debug_assert_eq!(chosen.len(), merges_needed);
+    let mut mate = vec![usize::MAX; na];
+    for &(a, b) in &chosen {
+        mate[a] = b;
+        mate[b] = a;
+    }
+    let mut cluster_map = vec![usize::MAX; na];
+    let mut next = 0;
+    for a in 0..na {
+        if cluster_map[a] != usize::MAX {
+            continue;
+        }
+        cluster_map[a] = next;
+        if mate[a] != usize::MAX {
+            cluster_map[mate[a]] = next;
+        }
+        next += 1;
+    }
+    debug_assert_eq!(next, m);
+
+    // --- Derived level + conservation bookkeeping. -----------------------
+    let internalized_weight = graph
+        .cross_edges()
+        .filter(|&(u, v, _)| cluster_map[graph.cluster_of(u)] == cluster_map[graph.cluster_of(v)])
+        .map(|(_, _, w)| w)
+        .sum();
+    let coarse_graph = graph.coarsen(&cluster_map)?;
+    let mut contracted = UnGraph::new(m);
+    for (u, v) in system.graph().edges() {
+        if proc_map[u] != proc_map[v] {
+            contracted.add_edge(proc_map[u], proc_map[v])?;
+        }
+    }
+    let coarse_system = SystemGraph::new(format!("{finest_name}/coarse[{m}]"), contracted)?;
+
+    Ok(Some((
+        Coarsening {
+            cluster_map,
+            proc_map,
+            groups,
+            internalized_weight,
+        },
+        Level {
+            graph: coarse_graph,
+            system: coarse_system,
+        },
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimd_taskgraph::clustering::region::random_region_clustering;
+    use mimd_taskgraph::{GeneratorConfig, LayeredDagGenerator};
+    use mimd_topology::{mesh2d, star, torus2d};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn instance(np: usize, ns: usize, seed: u64) -> ClusteredProblemGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gen = LayeredDagGenerator::new(GeneratorConfig {
+            tasks: np,
+            ..GeneratorConfig::default()
+        })
+        .unwrap();
+        let problem = gen.generate(&mut rng);
+        let clustering = random_region_clustering(&problem, ns, &mut rng).unwrap();
+        ClusteredProblemGraph::new(problem, clustering).unwrap()
+    }
+
+    #[test]
+    fn hierarchy_halves_meshes_down_to_the_target() {
+        let system = mesh2d(8, 8).unwrap();
+        let graph = instance(128, 64, 1);
+        let h = Hierarchy::build(&graph, &system, 8).unwrap();
+        assert!(h.top().system.len() <= 8);
+        assert!(h.depth() >= 3, "64 -> <=8 takes at least 3 halvings");
+        // Sizes match at every level, and each step halves (mesh
+        // matchings are near-perfect).
+        for level in h.levels() {
+            assert_eq!(level.graph.num_clusters(), level.system.len());
+        }
+        for pair in h.levels().windows(2) {
+            assert!(pair[1].system.len() >= pair[0].system.len() / 2);
+            assert!(pair[1].system.len() < pair[0].system.len());
+        }
+        assert_eq!(h.coarsenings().len(), h.depth() - 1);
+    }
+
+    #[test]
+    fn projections_conserve_weight() {
+        let system = torus2d(6, 6).unwrap();
+        let graph = instance(90, 36, 7);
+        let h = Hierarchy::build(&graph, &system, 4).unwrap();
+        for (k, coarsening) in h.coarsenings().iter().enumerate() {
+            let fine = &h.levels()[k];
+            let coarse = &h.levels()[k + 1];
+            // Task weight: same problem graph, so trivially conserved.
+            assert_eq!(
+                fine.graph.problem().sequential_time(),
+                coarse.graph.problem().sequential_time()
+            );
+            // Cut weight: fine cut = coarse cut + internalized.
+            assert_eq!(
+                fine.graph.total_cut_weight(),
+                coarse.graph.total_cut_weight() + coarsening.internalized_weight
+            );
+            // Groups partition the fine machine.
+            let total: usize = coarsening.groups.iter().map(Vec::len).sum();
+            assert_eq!(total, fine.system.len());
+            // Group members are mutually reachable in <= 1 hop (matched
+            // pair or singleton) — connected processor groups.
+            for (g, members) in coarsening.groups.iter().enumerate() {
+                assert!(members.len() <= 2);
+                for &s in members {
+                    assert_eq!(coarsening.proc_map[s], g);
+                }
+                if let [a, b] = members[..] {
+                    assert!(fine.system.adjacent(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn star_coarsening_stalls_instead_of_degenerating() {
+        let system = star(32).unwrap();
+        let graph = instance(64, 32, 3);
+        let h = Hierarchy::build(&graph, &system, 4).unwrap();
+        // A star matches exactly one pair per level (ratio 31/32 > 0.9),
+        // so the hierarchy gives up immediately.
+        assert_eq!(h.depth(), 1);
+        assert_eq!(h.top().system.len(), 32);
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let system = mesh2d(4, 4).unwrap();
+        let graph = instance(40, 8, 1);
+        assert!(Hierarchy::build(&graph, &system, 4).is_err());
+    }
+}

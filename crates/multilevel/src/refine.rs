@@ -1,0 +1,239 @@
+//! Group-local refinement during uncoarsening — the paper's §4.3.3
+//! randomized re-placement restricted to each processor group.
+//!
+//! After prolonging a coarse assignment, every cluster already sits on
+//! a processor of the group its coarse host expanded into; what is left
+//! to decide is the *arrangement within each group*. Each round draws a
+//! fresh random permutation inside every multi-member group (clusters
+//! never leave their group), evaluates the whole assignment once under
+//! the analytic model, and keeps improvements — stopping early the
+//! moment the level's ideal-graph lower bound is reached (Theorem 3).
+//! The budget is a fixed number of rounds per level, so refinement work
+//! grows with the hierarchy depth (`O(log ns)` levels), not with `ns`.
+
+use rand::Rng;
+
+use mimd_core::evaluate::evaluate_assignment;
+use mimd_core::schedule::EvaluationModel;
+use mimd_core::Assignment;
+use mimd_graph::error::GraphError;
+use mimd_graph::{NodeId, Time};
+use mimd_taskgraph::ClusteredProblemGraph;
+use mimd_topology::SystemGraph;
+
+/// Objective and budget of a group-local refinement pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LocalRefineConfig {
+    /// The level's ideal-graph lower bound (early-stop target).
+    pub lower_bound: Time,
+    /// Maximum number of rounds (one full-assignment evaluation each).
+    pub rounds: usize,
+    /// The evaluation model (paper: precedence).
+    pub model: EvaluationModel,
+}
+
+/// What a group-local refinement pass did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LocalRefineOutcome {
+    /// The best assignment found.
+    pub assignment: Assignment,
+    /// Its total time under the configured model.
+    pub total: Time,
+    /// Rounds actually evaluated (≤ the configured budget).
+    pub rounds_used: usize,
+    /// Rounds that improved the incumbent.
+    pub improvements: usize,
+    /// `true` iff the level's lower bound was reached (provably optimal
+    /// at this level).
+    pub reached_lower_bound: bool,
+}
+
+/// Refine `start` by randomly re-arranging clusters within each
+/// processor group for up to `config.rounds` rounds.
+pub fn refine_within_groups(
+    graph: &ClusteredProblemGraph,
+    system: &SystemGraph,
+    groups: &[Vec<NodeId>],
+    start: &Assignment,
+    config: &LocalRefineConfig,
+    rng: &mut impl Rng,
+) -> Result<LocalRefineOutcome, GraphError> {
+    let LocalRefineConfig {
+        lower_bound,
+        rounds,
+        model,
+    } = *config;
+    let mut best = start.clone();
+    let mut best_total = evaluate_assignment(graph, system, &best, model)?.total();
+    let mut outcome = LocalRefineOutcome {
+        assignment: best.clone(),
+        total: best_total,
+        rounds_used: 0,
+        improvements: 0,
+        reached_lower_bound: best_total == lower_bound,
+    };
+    if outcome.reached_lower_bound {
+        return Ok(outcome);
+    }
+    let multi: Vec<&Vec<NodeId>> = groups.iter().filter(|g| g.len() >= 2).collect();
+    if multi.is_empty() {
+        return Ok(outcome);
+    }
+
+    let mut candidate = best.clone();
+    let mut clusters = Vec::new();
+    let mut perm = Vec::new();
+    for _ in 0..rounds {
+        candidate.clone_from(&best);
+        for group in &multi {
+            clusters.clear();
+            clusters.extend(group.iter().map(|&s| best.cluster_of(s)));
+            perm.clear();
+            perm.extend(0..group.len());
+            for i in (1..perm.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                perm.swap(i, j);
+            }
+            candidate.place_subset(&clusters, group, &perm);
+        }
+        outcome.rounds_used += 1;
+        let total = evaluate_assignment(graph, system, &candidate, model)?.total();
+        if total < best_total {
+            best.clone_from(&candidate);
+            best_total = total;
+            outcome.improvements += 1;
+            if total == lower_bound {
+                outcome.reached_lower_bound = true;
+                break;
+            }
+        }
+    }
+    outcome.assignment = best;
+    outcome.total = best_total;
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimd_taskgraph::paper;
+    use mimd_topology::ring;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_the_worked_example_optimum_within_one_group() {
+        let graph = paper::worked_example();
+        let system = ring(4).unwrap();
+        // One group covering the whole ring: equivalent to the paper's
+        // unrestricted refinement.
+        let groups = vec![vec![0, 1, 2, 3]];
+        let start = Assignment::identity(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = refine_within_groups(
+            &graph,
+            &system,
+            &groups,
+            &start,
+            &LocalRefineConfig {
+                lower_bound: paper::WORKED_LOWER_BOUND,
+                rounds: 100,
+                model: EvaluationModel::Precedence,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(out.reached_lower_bound, "total {}", out.total);
+        assert_eq!(out.total, paper::WORKED_LOWER_BOUND);
+        assert!(out.rounds_used <= 100);
+    }
+
+    #[test]
+    fn clusters_never_leave_their_group() {
+        let graph = paper::worked_example();
+        let system = ring(4).unwrap();
+        let groups = vec![vec![0, 1], vec![2, 3]];
+        let start = Assignment::identity(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = refine_within_groups(
+            &graph,
+            &system,
+            &groups,
+            &start,
+            &LocalRefineConfig {
+                lower_bound: 0,
+                rounds: 50,
+                model: EvaluationModel::Precedence,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        // Clusters 0,1 started in group {0,1}; they must still be there.
+        for c in 0..2 {
+            assert!(out.assignment.sys_of(c) < 2, "cluster {c} escaped");
+        }
+        for c in 2..4 {
+            assert!(out.assignment.sys_of(c) >= 2, "cluster {c} escaped");
+        }
+    }
+
+    #[test]
+    fn singleton_groups_are_a_noop() {
+        let graph = paper::worked_example();
+        let system = ring(4).unwrap();
+        let groups = vec![vec![0], vec![1], vec![2], vec![3]];
+        let start = Assignment::identity(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = refine_within_groups(
+            &graph,
+            &system,
+            &groups,
+            &start,
+            &LocalRefineConfig {
+                lower_bound: 0,
+                rounds: 50,
+                model: EvaluationModel::Precedence,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.rounds_used, 0);
+        assert_eq!(out.assignment, start);
+    }
+
+    #[test]
+    fn never_worse_than_start_and_deterministic() {
+        let graph = paper::worked_example();
+        let system = ring(4).unwrap();
+        let groups = vec![vec![0, 2], vec![1, 3]];
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let start = Assignment::from_sys_of(vec![3, 2, 1, 0]).unwrap();
+            refine_within_groups(
+                &graph,
+                &system,
+                &groups,
+                &start,
+                &LocalRefineConfig {
+                    lower_bound: 0,
+                    rounds: 20,
+                    model: EvaluationModel::Precedence,
+                },
+                &mut rng,
+            )
+            .unwrap()
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a, b, "same seed, same outcome");
+        let start_total = evaluate_assignment(
+            &graph,
+            &system,
+            &Assignment::from_sys_of(vec![3, 2, 1, 0]).unwrap(),
+            EvaluationModel::Precedence,
+        )
+        .unwrap()
+        .total();
+        assert!(a.total <= start_total);
+    }
+}

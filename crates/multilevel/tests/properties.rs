@@ -1,0 +1,165 @@
+//! Property tests for the multilevel invariants the ISSUE pins down:
+//! coarsening conserves total node/edge weight, every prolonged
+//! assignment is valid (feasible schedule under `mimd_core::validate`),
+//! and results are identical across repeated runs of the same seed.
+//! (Thread-count invariance lives in `mimd-engine`'s determinism suite,
+//! which batches multilevel jobs through the worker pool.)
+
+use proptest::prelude::*;
+
+use mimd_core::evaluate::evaluate_assignment;
+use mimd_core::schedule::EvaluationModel;
+use mimd_core::validate_schedule;
+use mimd_multilevel::{Hierarchy, MultilevelConfig, MultilevelMapper};
+use mimd_taskgraph::clustering::region::random_region_clustering;
+use mimd_taskgraph::{ClusteredProblemGraph, GeneratorConfig, LayeredDagGenerator};
+use mimd_topology::{SystemGraph, TopologySpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A pool of machines big enough to force real V-cycles (every ns is
+/// above the default direct threshold of 32).
+fn topology(index: usize) -> SystemGraph {
+    let specs = [
+        TopologySpec::Mesh { rows: 6, cols: 8 },
+        TopologySpec::Torus { rows: 7, cols: 7 },
+        TopologySpec::Hypercube { dim: 6 },
+        TopologySpec::FatTree {
+            levels: 3,
+            arity: 6,
+        },
+        TopologySpec::ClusteredComplete {
+            groups: 6,
+            group_size: 7,
+        },
+        TopologySpec::Random { n: 48, p: 0.08 },
+    ];
+    let spec = &specs[index % specs.len()];
+    let mut rng = StdRng::seed_from_u64(index as u64);
+    spec.build(&mut rng).expect("pool specs are valid")
+}
+
+fn instance(extra_tasks: usize, ns: usize, seed: u64) -> ClusteredProblemGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gen = LayeredDagGenerator::new(GeneratorConfig {
+        tasks: ns + extra_tasks,
+        ..GeneratorConfig::default()
+    })
+    .unwrap();
+    let problem = gen.generate(&mut rng);
+    let clustering = random_region_clustering(&problem, ns, &mut rng).unwrap();
+    ClusteredProblemGraph::new(problem, clustering).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn coarsening_conserves_node_and_edge_weight(
+        topo in 0usize..6,
+        extra in 8usize..96,
+        seed in 0u64..1_000_000,
+    ) {
+        let system = topology(topo);
+        let ns = system.len();
+        let graph = instance(extra, ns, seed);
+        let hierarchy = Hierarchy::build(&graph, &system, 8).unwrap();
+        prop_assert!(hierarchy.depth() >= 2, "{} should coarsen", system.name());
+
+        for (k, coarsening) in hierarchy.coarsenings().iter().enumerate() {
+            let fine = &hierarchy.levels()[k];
+            let coarse = &hierarchy.levels()[k + 1];
+            // na == ns at every level.
+            prop_assert_eq!(fine.graph.num_clusters(), fine.system.len());
+            prop_assert_eq!(coarse.graph.num_clusters(), coarse.system.len());
+            // Node weight (total task time) is conserved exactly.
+            prop_assert_eq!(
+                fine.graph.problem().sequential_time(),
+                coarse.graph.problem().sequential_time()
+            );
+            // Edge weight splits exactly into coarse cut + internalized.
+            prop_assert_eq!(
+                fine.graph.total_cut_weight(),
+                coarse.graph.total_cut_weight() + coarsening.internalized_weight
+            );
+            // The processor groups partition the fine machine and are
+            // connected (singletons or adjacent pairs).
+            let mut covered = vec![false; fine.system.len()];
+            for members in &coarsening.groups {
+                for &s in members {
+                    prop_assert!(!covered[s], "processor {} in two groups", s);
+                    covered[s] = true;
+                }
+                if let [a, b] = members[..] {
+                    prop_assert!(fine.system.adjacent(a, b));
+                }
+            }
+            prop_assert!(covered.iter().all(|&c| c));
+            // The cluster map is a weight-conserving projection: every
+            // fine cluster lands in exactly one coarse cluster.
+            prop_assert_eq!(coarsening.cluster_map.len(), fine.graph.num_clusters());
+            for &c in &coarsening.cluster_map {
+                prop_assert!(c < coarse.graph.num_clusters());
+            }
+        }
+    }
+
+    #[test]
+    fn prolonged_assignments_are_valid(
+        topo in 0usize..6,
+        extra in 8usize..96,
+        seed in 0u64..1_000_000,
+        rounds in 1usize..12,
+    ) {
+        let system = topology(topo);
+        let ns = system.len();
+        let graph = instance(extra, ns, seed);
+        let mapper = MultilevelMapper::with_config(MultilevelConfig {
+            direct_threshold: 8,
+            refine_rounds: rounds,
+            ..MultilevelConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = mapper.map(&graph, &system, &mut rng).unwrap();
+        prop_assert!(result.levels >= 2);
+        prop_assert!(result.total_time >= result.lower_bound);
+        // The assignment is a bijection (from_sys_of re-validates it).
+        let rebuilt =
+            mimd_core::Assignment::from_sys_of(result.assignment.sys_of_vec().to_vec()).unwrap();
+        prop_assert_eq!(&rebuilt, &result.assignment);
+        // The derived schedule is feasible per mimd_core::validate.
+        let eval = evaluate_assignment(
+            &graph,
+            &system,
+            &result.assignment,
+            EvaluationModel::Precedence,
+        )
+        .unwrap();
+        prop_assert_eq!(eval.total(), result.total_time);
+        let violations = validate_schedule(
+            &graph,
+            &system,
+            &result.assignment,
+            &eval.schedule,
+            EvaluationModel::Precedence,
+        );
+        prop_assert!(violations.is_empty(), "{:?}", violations);
+    }
+
+    #[test]
+    fn repeated_runs_with_one_seed_are_identical(
+        topo in 0usize..6,
+        extra in 8usize..64,
+        seed in 0u64..1_000_000,
+    ) {
+        let system = topology(topo);
+        let graph = instance(extra, system.len(), seed);
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
+            MultilevelMapper::new().map(&graph, &system, &mut rng).unwrap()
+        };
+        let first = run();
+        let second = run();
+        prop_assert_eq!(first, second);
+    }
+}

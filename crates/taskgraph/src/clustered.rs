@@ -106,6 +106,18 @@ impl ClusteredProblemGraph {
         self.cross_edges().map(|(_, _, w)| w).sum()
     }
 
+    /// The next-coarser member of a multilevel hierarchy: the same
+    /// problem graph under the clustering merged by `map` (`map[c]` =
+    /// coarse cluster absorbing fine cluster `c`). Total task weight is
+    /// conserved exactly (tasks never merge); cross-cluster edge weight
+    /// splits into the coarse cut plus the weight internalized by the
+    /// merge, so `self.total_cut_weight() == coarse.total_cut_weight()
+    /// + internalized`.
+    pub fn coarsen(&self, map: &[crate::ClusterId]) -> Result<ClusteredProblemGraph, GraphError> {
+        let clustering = self.clustering.coarsen(map)?;
+        ClusteredProblemGraph::new(self.problem.clone(), clustering)
+    }
+
     /// The paper's `mca[na]` vector: for each cluster, the sum of the
     /// weights of all clustered (cross) edges incident to it (§3.3(c)).
     /// Used by step 3 of the initial assignment.
@@ -170,6 +182,20 @@ mod tests {
         let g = fixture();
         // Cross edges: (0,2,2) and (1,3,1); each adds to both clusters.
         assert_eq!(g.communication_intensity(), vec![3, 3]);
+    }
+
+    #[test]
+    fn coarsen_conserves_cut_weight_split() {
+        let g = fixture();
+        // Merge both clusters into one: everything becomes internal.
+        let coarse = g.coarsen(&[0, 0]).unwrap();
+        assert_eq!(coarse.num_clusters(), 1);
+        assert_eq!(coarse.num_tasks(), g.num_tasks());
+        assert_eq!(coarse.total_cut_weight(), 0);
+        // Identity map changes nothing.
+        let same = g.coarsen(&[0, 1]).unwrap();
+        assert_eq!(same.total_cut_weight(), g.total_cut_weight());
+        assert_eq!(same.clustering(), g.clustering());
     }
 
     #[test]

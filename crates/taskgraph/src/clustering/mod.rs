@@ -123,6 +123,23 @@ impl Clustering {
     pub fn max_cluster_size(&self) -> usize {
         self.members.iter().map(Vec::len).max().unwrap_or(0)
     }
+
+    /// Merge clusters according to `map` (`map[c]` = the coarse cluster
+    /// absorbing fine cluster `c`) — the projection step of multilevel
+    /// coarsening. `map` must cover every fine cluster and its image
+    /// must be the contiguous range `0..max+1` with no empty coarse
+    /// cluster (guaranteed when `map` comes from a matching contraction).
+    /// Task membership is conserved: every task lands in the coarse
+    /// cluster its fine cluster maps to.
+    pub fn coarsen(&self, map: &[ClusterId]) -> Result<Clustering, GraphError> {
+        if map.len() != self.num_clusters() {
+            return Err(GraphError::SizeMismatch {
+                left: map.len(),
+                right: self.num_clusters(),
+            });
+        }
+        Clustering::new(self.cluster_of.iter().map(|&c| map[c]).collect())
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +171,19 @@ mod tests {
         let c = Clustering::from_members(vec![vec![0, 3], vec![1], vec![2]], 4).unwrap();
         assert_eq!(c.cluster_of(3), 0);
         assert_eq!(c.assignments(), &[0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn coarsen_merges_clusters_and_conserves_tasks() {
+        let c = Clustering::new(vec![0, 1, 0, 2, 1, 3]).unwrap();
+        // Merge {0,2} -> 0 and {1,3} -> 1.
+        let coarse = c.coarsen(&[0, 1, 0, 1]).unwrap();
+        assert_eq!(coarse.num_clusters(), 2);
+        assert_eq!(coarse.num_tasks(), c.num_tasks());
+        assert_eq!(coarse.assignments(), &[0, 1, 0, 0, 1, 1]);
+        // Wrong map length and a gap in the image are rejected.
+        assert!(c.coarsen(&[0, 1, 0]).is_err());
+        assert!(c.coarsen(&[0, 2, 0, 2]).is_err());
     }
 
     #[test]

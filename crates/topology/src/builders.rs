@@ -150,6 +150,91 @@ pub fn complete(n: usize) -> Result<SystemGraph, GraphError> {
     SystemGraph::new(format!("complete({n})"), UnGraph::new(n).closure())
 }
 
+/// Fat-tree-style hierarchical topology on `(arity^levels - 1)/(arity-1)`
+/// processors: a complete `arity`-ary tree of `levels` levels where, in
+/// addition to the parent links, every sibling group forms a clique. The
+/// sibling cliques stand in for the fat intra-pod bandwidth of real
+/// fat-trees (cf. the PERCS/fat-tree mapping literature) while keeping
+/// the unweighted-link model; the result has strong hierarchical
+/// locality, which makes it a natural multilevel coarsening target.
+pub fn fat_tree(levels: u32, arity: usize) -> Result<SystemGraph, GraphError> {
+    if levels == 0 || arity == 0 {
+        return Err(GraphError::InvalidParameter(
+            "fat tree needs levels, arity >= 1".into(),
+        ));
+    }
+    // n = 1 + arity + arity^2 + ... + arity^(levels-1), overflow-checked.
+    let mut n: usize = 0;
+    let mut layer: usize = 1;
+    let mut layer_starts = Vec::with_capacity(levels as usize);
+    for _ in 0..levels {
+        layer_starts.push(n);
+        n = n
+            .checked_add(layer)
+            .filter(|&total| total <= 1 << 20)
+            .ok_or_else(|| {
+                GraphError::InvalidParameter(format!("fat_tree(l={levels},a={arity}) too large"))
+            })?;
+        layer = layer.saturating_mul(arity);
+    }
+    let mut g = UnGraph::new(n);
+    for level in 1..levels as usize {
+        let start = layer_starts[level];
+        let end = if level + 1 < levels as usize {
+            layer_starts[level + 1]
+        } else {
+            n
+        };
+        for v in start..end {
+            // Parent link: nodes of a layer are ordered by parent.
+            let parent = layer_starts[level - 1] + (v - start) / arity;
+            g.add_edge(v, parent)?;
+            // Sibling clique within the same parent's child group.
+            let group_first = start + ((v - start) / arity) * arity;
+            for u in group_first..v {
+                g.add_edge(u, v)?;
+            }
+        }
+    }
+    SystemGraph::new(format!("fattree(l={levels},a={arity})"), g)
+}
+
+/// PERCS-style two-level "clustered complete" topology on
+/// `groups × group_size` processors: every group is a clique (supernode
+/// local links), and every pair of groups is joined by exactly one
+/// direct link (the D-link of Chakaravarthy et al., *Mapping Strategies
+/// for the PERCS Architecture*). Group `a`'s member `b mod group_size`
+/// connects to group `b`'s member `a mod group_size`, spreading the
+/// inter-group links across members.
+pub fn clustered_complete(groups: usize, group_size: usize) -> Result<SystemGraph, GraphError> {
+    if groups == 0 || group_size == 0 {
+        return Err(GraphError::InvalidParameter(
+            "clustered complete needs groups, group_size >= 1".into(),
+        ));
+    }
+    let n = groups
+        .checked_mul(group_size)
+        .filter(|&total| total <= 1 << 20)
+        .ok_or_else(|| {
+            GraphError::InvalidParameter(format!("clusters({groups}x{group_size}) too large"))
+        })?;
+    let mut g = UnGraph::new(n);
+    for a in 0..groups {
+        let base = a * group_size;
+        for i in 0..group_size {
+            for j in (i + 1)..group_size {
+                g.add_edge(base + i, base + j)?;
+            }
+        }
+        for b in (a + 1)..groups {
+            let u = base + b % group_size;
+            let v = b * group_size + a % group_size;
+            g.add_edge(u, v)?;
+        }
+    }
+    SystemGraph::new(format!("clusters({groups}x{group_size})"), g)
+}
+
 /// Random connected topology on `n` processors: spanning tree plus each
 /// extra edge with probability `extra_edge_prob` (Table 3 / Fig 27).
 pub fn random_topology(
@@ -225,6 +310,49 @@ mod tests {
         let k = complete(5).unwrap();
         assert_eq!(k.graph().edge_count(), 10);
         assert_eq!(k.diameter(), 1);
+    }
+
+    #[test]
+    fn fat_tree_structure() {
+        // 3 levels, arity 2: 1 + 2 + 4 = 7 nodes.
+        let t = fat_tree(3, 2).unwrap();
+        assert_eq!(t.len(), 7);
+        // Tree edges (6) + one sibling edge per 2-child group (3).
+        assert_eq!(t.graph().edge_count(), 9);
+        // Siblings are directly linked: children of the root are 1 and 2.
+        assert!(t.adjacent(1, 2));
+        // Leaves 3,4 share parent 1; leaves 5,6 share parent 2.
+        assert!(t.adjacent(3, 4) && t.adjacent(3, 1));
+        assert!(!t.adjacent(3, 5), "different pods are not linked");
+        assert_eq!(fat_tree(1, 4).unwrap().len(), 1);
+        // Arity 1 degenerates to a chain.
+        let chain3 = fat_tree(3, 1).unwrap();
+        assert_eq!(chain3.len(), 3);
+        assert_eq!(chain3.diameter(), 2);
+    }
+
+    #[test]
+    fn clustered_complete_structure() {
+        let c = clustered_complete(4, 8).unwrap();
+        assert_eq!(c.len(), 32);
+        // Local cliques: 4 * C(8,2) = 112; inter-group: C(4,2) = 6.
+        assert_eq!(c.graph().edge_count(), 112 + 6);
+        // Everything within a group is one hop.
+        assert_eq!(c.hops(0, 7), 1);
+        // Any two processors are at most 3 hops apart (local, D-link, local).
+        assert!(c.diameter() <= 3);
+        assert_eq!(clustered_complete(1, 1).unwrap().len(), 1);
+        assert_eq!(clustered_complete(3, 1).unwrap().graph().edge_count(), 3);
+    }
+
+    #[test]
+    fn hierarchical_builders_reject_bad_parameters() {
+        assert!(fat_tree(0, 2).is_err());
+        assert!(fat_tree(2, 0).is_err());
+        assert!(fat_tree(30, 8).is_err(), "size cap");
+        assert!(clustered_complete(0, 4).is_err());
+        assert!(clustered_complete(4, 0).is_err());
+        assert!(clustered_complete(1 << 12, 1 << 12).is_err(), "size cap");
     }
 
     #[test]

@@ -21,7 +21,8 @@ pub mod spec;
 mod system;
 
 pub use builders::{
-    binary_tree, chain, complete, hypercube, mesh2d, random_topology, ring, star, torus2d,
+    binary_tree, chain, clustered_complete, complete, fat_tree, hypercube, mesh2d, random_topology,
+    ring, star, torus2d,
 };
 pub use exotic::{cube_connected_cycles, de_bruijn};
 pub use spec::TopologySpec;

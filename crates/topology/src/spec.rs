@@ -58,6 +58,22 @@ pub enum TopologySpec {
         /// Node count (≥ 1).
         n: usize,
     },
+    /// Fat-tree-style hierarchical topology: complete `arity`-ary tree
+    /// of `levels` levels with sibling cliques.
+    FatTree {
+        /// Number of tree levels (≥ 1).
+        levels: u32,
+        /// Children per internal node (≥ 1).
+        arity: usize,
+    },
+    /// PERCS-style two-level topology: `groups` cliques of `group_size`
+    /// processors, every pair of groups joined by one direct link.
+    ClusteredComplete {
+        /// Number of groups (≥ 1).
+        groups: usize,
+        /// Processors per group (≥ 1).
+        group_size: usize,
+    },
     /// Random connected graph: spanning tree + extra edges w.p. `p`.
     Random {
         /// Node count (≥ 1).
@@ -79,6 +95,19 @@ impl TopologySpec {
             | TopologySpec::BinaryTree { n }
             | TopologySpec::Complete { n }
             | TopologySpec::Random { n, .. } => n,
+            TopologySpec::FatTree { levels, arity } => {
+                // 1 + arity + ... + arity^(levels-1), saturating.
+                let mut n = 0usize;
+                let mut layer = 1usize;
+                for _ in 0..levels {
+                    n = n.saturating_add(layer);
+                    layer = layer.saturating_mul(arity);
+                }
+                n
+            }
+            TopologySpec::ClusteredComplete { groups, group_size } => {
+                groups.saturating_mul(group_size)
+            }
         }
     }
 
@@ -102,6 +131,10 @@ impl TopologySpec {
             TopologySpec::Star { n } => builders::star(n),
             TopologySpec::BinaryTree { n } => builders::binary_tree(n),
             TopologySpec::Complete { n } => builders::complete(n),
+            TopologySpec::FatTree { levels, arity } => builders::fat_tree(levels, arity),
+            TopologySpec::ClusteredComplete { groups, group_size } => {
+                builders::clustered_complete(groups, group_size)
+            }
             TopologySpec::Random { n, p } => builders::random_topology(n, p, rng),
         }
     }
@@ -118,6 +151,10 @@ impl std::fmt::Display for TopologySpec {
             TopologySpec::Star { n } => write!(f, "star({n})"),
             TopologySpec::BinaryTree { n } => write!(f, "btree({n})"),
             TopologySpec::Complete { n } => write!(f, "complete({n})"),
+            TopologySpec::FatTree { levels, arity } => write!(f, "fattree(l={levels},a={arity})"),
+            TopologySpec::ClusteredComplete { groups, group_size } => {
+                write!(f, "clusters({groups}x{group_size})")
+            }
             TopologySpec::Random { n, p } => write!(f, "random({n},p={p})"),
         }
     }
@@ -141,6 +178,14 @@ mod tests {
             TopologySpec::Star { n: 7 },
             TopologySpec::BinaryTree { n: 9 },
             TopologySpec::Complete { n: 5 },
+            TopologySpec::FatTree {
+                levels: 3,
+                arity: 3,
+            },
+            TopologySpec::ClusteredComplete {
+                groups: 3,
+                group_size: 4,
+            },
             TopologySpec::Random { n: 11, p: 0.25 },
         ];
         for spec in specs {
@@ -158,6 +203,22 @@ mod tests {
         assert_eq!(
             TopologySpec::Mesh { rows: 4, cols: 10 }.to_string(),
             "mesh(4x10)"
+        );
+        assert_eq!(
+            TopologySpec::FatTree {
+                levels: 3,
+                arity: 4
+            }
+            .to_string(),
+            "fattree(l=3,a=4)"
+        );
+        assert_eq!(
+            TopologySpec::ClusteredComplete {
+                groups: 8,
+                group_size: 32
+            }
+            .to_string(),
+            "clusters(8x32)"
         );
     }
 

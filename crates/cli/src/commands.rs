@@ -27,7 +27,8 @@ commands:
   map        (--tasks <n> | --workload <kind:params> | --load <file.json>)
              --spec <kind:params> [--seed <u64>] [--reps <n>]
              [--algorithm <name>] [--direct-threshold <n>]
-             [--refine-rounds <n>]
+             [--refine-rounds <n>] [--refine-batch <n>]
+             [--refine-threads <n>]
              [--greedy-clustering] [--serialized] [--gantt]
   simulate   (--tasks <n> | --workload <kind:params>) --spec <kind:params>
              [--seed <u64>] [--contention] [--serialize]
@@ -40,6 +41,16 @@ commands:
              [--summary] [--out <file>]
              — run the cross-product workloads × topologies × algorithms
                × seeds through the engine
+  trace      (--tasks <n> | --workload <kind:params>) --spec <kind:params>
+             [--events <n>] [--regime arrivals|drift|mixed] [--seed <u64>]
+             [--out <file>]
+             — generate a synthetic churn trace (JSONL: header + events)
+  replay     --trace <file|-> [--seed <u64>] [--migration-penalty <t>]
+             [--staleness <f>] [--local-rounds <n>] [--region-size <n>]
+             [--scratch] [--summary] [--out <file>]
+             — replay a trace through the incremental remapper, one
+               JSONL record per event (--scratch forces a full V-cycle
+               per event for comparison)
   algorithms (no flags) — list every registry algorithm with a
                one-line description
   paper      (no flags) — reproduce the worked example's artifacts
@@ -49,8 +60,8 @@ topology specs : hypercube:3  mesh:3x4  torus:3x4  ring:8  chain:8
                  random:16@0.1
 workload specs : ge:12  stencil:16x8  fft:5  dnc:4  pipe:4x16
                  tasks:96  paper:120
-algorithms     : paper  multilevel  random  bokhari  lee  annealing
-                 pairwise  (see `mimd algorithms`)";
+algorithms     : paper  multilevel  incremental  random  bokhari  lee
+                 annealing  pairwise  (see `mimd algorithms`)";
 
 /// Route a command line to its handler.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -72,6 +83,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "map" => cmd_map(&flags),
         "simulate" => cmd_simulate(&flags),
         "sweep" => cmd_sweep(&flags),
+        "trace" => cmd_trace(&flags),
+        "replay" => cmd_replay(&flags),
         "algorithms" => cmd_algorithms(&flags),
         "paper" => cmd_paper(&flags),
         other => Err(format!("unknown command '{other}'")),
@@ -165,6 +178,8 @@ fn cmd_map(flags: &Flags) -> Result<(), String> {
         "algorithm",
         "direct-threshold",
         "refine-rounds",
+        "refine-batch",
+        "refine-threads",
         "greedy-clustering",
         "serialized",
         "gantt",
@@ -188,7 +203,12 @@ fn cmd_map(flags: &Flags) -> Result<(), String> {
     let clustered = ClusteredProblemGraph::new(problem, clustering).map_err(|e| e.to_string())?;
     let algorithm = flags.get("algorithm").unwrap_or("paper");
     if algorithm != "multilevel" {
-        for only_multilevel in ["direct-threshold", "refine-rounds"] {
+        for only_multilevel in [
+            "direct-threshold",
+            "refine-rounds",
+            "refine-batch",
+            "refine-threads",
+        ] {
             if flags.has(only_multilevel) {
                 return Err(format!(
                     "--{only_multilevel} requires --algorithm multilevel"
@@ -302,6 +322,8 @@ fn map_via_registry(
         mimd_engine::AlgorithmSpec::Multilevel {
             direct_threshold: opt_num("direct-threshold")?,
             refine_rounds: opt_num("refine-rounds")?,
+            refine_batch: opt_num("refine-batch")?,
+            refine_threads: opt_num("refine-threads")?,
         }
     } else {
         mimd_engine::AlgorithmSpec::parse(algorithm)?
@@ -350,6 +372,168 @@ fn map_via_registry(
             &outcome.assignment,
             EvaluationModel::Precedence,
         )?;
+    }
+    Ok(())
+}
+
+/// `mimd trace`: generate a synthetic churn trace (header + events) for
+/// `mimd replay` and the online benchmarks.
+fn cmd_trace(flags: &Flags) -> Result<(), String> {
+    flags.allow_only(&[
+        "tasks", "workload", "load", "width", "spec", "events", "regime", "seed", "out",
+    ])?;
+    let spec_text = flags.get("spec").ok_or("trace needs --spec")?;
+    let topology = crate::args::parse_topology(spec_text)?;
+    let seed = flags.num("seed", 1991u64)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let system = topology.build(&mut rng).map_err(|e| e.to_string())?;
+    let problem = problem_from_flags(flags, &mut rng)?;
+    if problem.len() < system.len() {
+        return Err(format!(
+            "problem has {} tasks but the machine has {} processors; need np >= ns",
+            problem.len(),
+            system.len()
+        ));
+    }
+    let clustering =
+        random_region_clustering(&problem, system.len(), &mut rng).map_err(|e| e.to_string())?;
+    let base = ClusteredProblemGraph::new(problem, clustering).map_err(|e| e.to_string())?;
+    let events = flags.num("events", 100usize)?;
+    let regime =
+        mimd_taskgraph::workloads::ChurnRegime::parse(flags.get("regime").unwrap_or("mixed"))?;
+    let trace = mimd_taskgraph::workloads::churn_trace(&base, events, regime, &mut rng);
+    let header = mimd_online::TraceHeader {
+        topology,
+        topology_seed: Some(seed),
+        snapshot: mimd_online::DynamicWorkload::from_clustered(&base).snapshot(),
+    };
+    let write = |writer: &mut dyn std::io::Write| {
+        mimd_online::write_trace(writer, &header, &trace).map_err(|e| e.to_string())
+    };
+    match flags.get("out") {
+        Some(path) => {
+            let mut file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            write(&mut file)?;
+        }
+        None => write(&mut std::io::stdout().lock())?,
+    }
+    eprintln!(
+        "trace: {} events ({regime:?}) on {} ({} tasks, {} clusters)",
+        trace.len(),
+        system.name(),
+        base.num_tasks(),
+        base.num_clusters()
+    );
+    Ok(())
+}
+
+/// `mimd replay`: feed a trace through the incremental remapper,
+/// emitting one JSONL record per event.
+fn cmd_replay(flags: &Flags) -> Result<(), String> {
+    use std::io::Write;
+    flags.allow_only(&[
+        "trace",
+        "seed",
+        "migration-penalty",
+        "staleness",
+        "local-rounds",
+        "region-size",
+        "scratch",
+        "summary",
+        "out",
+    ])?;
+    if flags.has("scratch") && flags.has("staleness") {
+        return Err(
+            "--scratch forces full V-cycles per event and overrides --staleness; \
+                    pass only one of them"
+                .into(),
+        );
+    }
+    let input = flags.get("trace").ok_or("replay needs --trace")?;
+    let (header, events) = if input == "-" {
+        mimd_online::read_trace(std::io::stdin().lock())?
+    } else {
+        let file = std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
+        mimd_online::read_trace(std::io::BufReader::new(file))?
+    };
+
+    let defaults = mimd_online::OnlineConfig::default();
+    let config = mimd_online::OnlineConfig {
+        migration_penalty: flags.num("migration-penalty", defaults.migration_penalty)?,
+        // --scratch forces a full V-cycle per event (the from-scratch
+        // baseline the incremental path is measured against).
+        staleness_threshold: if flags.has("scratch") {
+            0.0
+        } else {
+            flags.num("staleness", defaults.staleness_threshold)?
+        },
+        local_rounds: flags.num("local-rounds", defaults.local_rounds)?,
+        region_size: flags.num("region-size", defaults.region_size)?,
+        multilevel: defaults.multilevel,
+    };
+
+    // Route topology artifacts through the engine cache so replay and
+    // any co-resident batch share the hierarchy (and its counters).
+    let cache = mimd_engine::TopologyCache::new();
+    let artifacts = cache
+        .get_or_build(&header.topology, header.topology_seed())
+        .map_err(|e| format!("topology: {e}"))?;
+    let hierarchy = cache
+        .system_hierarchy(&artifacts)
+        .map_err(|e| format!("hierarchy: {e}"))?;
+
+    let mut sink: Box<dyn Write> = match flags.get("out") {
+        Some(path) => Box::new(std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    let seed = flags.num("seed", 1991u64)?;
+    let mut write_error: Option<std::io::Error> = None;
+    let summary =
+        mimd_online::replay_trace(&header, &events, &config, Some(hierarchy), seed, |record| {
+            if write_error.is_none() {
+                if let Err(e) = writeln!(sink, "{}", record.to_json_line()) {
+                    write_error = Some(e);
+                }
+            }
+        })?;
+    match write_error {
+        Some(e) if e.kind() == std::io::ErrorKind::BrokenPipe => return Ok(()),
+        Some(e) => return Err(format!("writing records: {e}")),
+        None => {}
+    }
+    if let Err(e) = sink.flush() {
+        if e.kind() != std::io::ErrorKind::BrokenPipe {
+            return Err(format!("writing records: {e}"));
+        }
+        return Ok(());
+    }
+
+    let stats = cache.stats();
+    eprintln!(
+        "replay: {} events ({} incremental, {} full, {} errors), \
+         {} migrations, mean {:.1}% over lower bound; hierarchy cache: \
+         {} misses, {} hits",
+        summary.events,
+        summary.incremental,
+        summary.full_remaps,
+        summary.errors,
+        summary.total_moves,
+        summary.mean_percent_over(),
+        stats.hierarchy_misses,
+        stats.hierarchy_hits,
+    );
+    if flags.has("summary") {
+        let mut table = Table::new("replay summary", &["metric", "value"]);
+        table.push_row(vec!["events".into(), summary.events.to_string()]);
+        table.push_row(vec!["incremental".into(), summary.incremental.to_string()]);
+        table.push_row(vec!["full remaps".into(), summary.full_remaps.to_string()]);
+        table.push_row(vec!["errors".into(), summary.errors.to_string()]);
+        table.push_row(vec!["migrations".into(), summary.total_moves.to_string()]);
+        table.push_row(vec![
+            "mean % over lower bound".into(),
+            format!("{:.1}", summary.mean_percent_over()),
+        ]);
+        eprintln!("{}", table.render());
     }
     Ok(())
 }
@@ -807,6 +991,98 @@ mod tests {
         let text = std::fs::read_to_string(&out2).unwrap();
         assert_eq!(text.lines().count(), 2 * 2 * 2);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_and_replay_roundtrip() {
+        let dir = std::env::temp_dir().join("mimd-cli-replay-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.jsonl");
+        let records = dir.join("records.jsonl");
+        run(&[
+            "trace",
+            "--tasks",
+            "96",
+            "--spec",
+            "torus:6x6",
+            "--events",
+            "25",
+            "--regime",
+            "mixed",
+            "--seed",
+            "5",
+            "--out",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&trace).unwrap();
+        assert_eq!(text.lines().count(), 26, "header + 25 events");
+
+        run(&[
+            "replay",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--seed",
+            "5",
+            "--summary",
+            "--out",
+            records.to_str().unwrap(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&records).unwrap();
+        assert_eq!(text.lines().count(), 26, "init + 25 events");
+        let mut incremental = 0;
+        for line in text.lines() {
+            let record = mimd_online::ReplayRecord::from_json_line(line).unwrap();
+            assert!(record.error.is_none(), "{:?}", record.error);
+            assert!(record.total_time >= record.lower_bound);
+            incremental += usize::from(record.action == "incremental");
+        }
+        assert!(incremental > 0, "expected incremental events");
+
+        // --scratch forces full V-cycles everywhere.
+        let scratch = dir.join("scratch.jsonl");
+        run(&[
+            "replay",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--seed",
+            "5",
+            "--scratch",
+            "--out",
+            scratch.to_str().unwrap(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&scratch).unwrap();
+        for line in text.lines() {
+            let record = mimd_online::ReplayRecord::from_json_line(line).unwrap();
+            assert_eq!(record.action, "full");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_and_replay_errors() {
+        assert!(run(&["trace", "--tasks", "40"]).is_err(), "missing --spec");
+        assert!(
+            run(&["trace", "--tasks", "4", "--spec", "ring:8"]).is_err(),
+            "np < ns"
+        );
+        assert!(run(&["trace", "--tasks", "40", "--spec", "ring:8", "--regime", "storm"]).is_err());
+        assert!(run(&["replay"]).is_err(), "missing --trace");
+        assert!(run(&["replay", "--trace", "/nonexistent/t.jsonl"]).is_err());
+        assert!(
+            run(&[
+                "replay",
+                "--trace",
+                "t.jsonl",
+                "--scratch",
+                "--staleness",
+                "0.5"
+            ])
+            .is_err(),
+            "--scratch conflicts with --staleness"
+        );
     }
 
     #[test]

@@ -23,6 +23,39 @@ use mimd_topology::SystemGraph;
 use crate::assignment::Assignment;
 use crate::refine::{refine, RefineConfig, RefineOutcome};
 
+/// Compute `f(0), …, f(n - 1)` across up to `threads` workers, returning
+/// the results in index order. Each index is computed in isolation, so
+/// the output is byte-identical for every worker count — the primitive
+/// the multilevel group refiner uses to evaluate a fixed batch of
+/// candidates in parallel without giving up determinism. `threads <= 1`
+/// (or a single item) runs inline with no thread machinery at all.
+pub fn deterministic_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                *slots[i].lock() = Some(f(i));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every index computed"))
+        .collect()
+}
+
 /// Parallel refinement parameters.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ParallelRefineConfig {
@@ -147,6 +180,17 @@ mod tests {
     use mimd_taskgraph::paper;
     use mimd_taskgraph::{GeneratorConfig, LayeredDagGenerator};
     use mimd_topology::{hypercube, ring};
+
+    #[test]
+    fn deterministic_map_is_thread_count_invariant() {
+        let f = |i: usize| i * i + 1;
+        let reference: Vec<usize> = (0..37).map(f).collect();
+        for threads in [0, 1, 2, 4, 9] {
+            assert_eq!(deterministic_map(37, threads, f), reference);
+        }
+        assert_eq!(deterministic_map(0, 4, f), Vec::<usize>::new());
+        assert_eq!(deterministic_map(1, 4, f), vec![1]);
+    }
 
     #[test]
     fn sequential_fallback_matches_refine() {

@@ -2,11 +2,16 @@
 //!
 //! Batch mapping spends real time on per-machine precomputation: the
 //! all-pairs hop matrix (`mimd-graph` BFS APSP, embedded in
-//! [`SystemGraph`]) and the simulator's next-hop [`RoutingTable`]. A
-//! batch of N jobs against the same machine should pay that cost once.
-//! [`TopologyCache`] interns topologies behind their canonical JSON
-//! spec and hands out `Arc`-shared artifacts; hit/miss counters make
-//! the "computed exactly once" guarantee observable and testable.
+//! [`SystemGraph`]), the simulator's next-hop [`RoutingTable`], and —
+//! the dominant setup cost of multilevel and online jobs — the
+//! system-side [`SystemHierarchy`] (matchings, contracted machines and
+//! their per-level APSP matrices). A batch of N jobs against the same
+//! machine should pay each cost once. [`TopologyCache`] interns
+//! topologies behind their canonical JSON spec and hands out
+//! `Arc`-shared artifacts; the hierarchy is built lazily on first
+//! multilevel/online use so flat-only batches never pay for it.
+//! Hit/miss counters make the "computed exactly once" guarantees
+//! observable and testable.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -15,6 +20,7 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::Mutex;
 
 use mimd_graph::error::GraphError;
+use mimd_multilevel::SystemHierarchy;
 use mimd_sim::RoutingTable;
 use mimd_topology::{SystemGraph, TopologySpec};
 
@@ -25,6 +31,9 @@ pub struct TopologyArtifacts {
     pub system: SystemGraph,
     /// Deterministic shortest-path next-hop table.
     pub routing: RoutingTable,
+    /// The system-side multilevel hierarchy, built at most once on
+    /// first use (multilevel and online jobs only).
+    hierarchy: OnceLock<Result<Arc<SystemHierarchy>, GraphError>>,
 }
 
 impl TopologyArtifacts {
@@ -35,7 +44,21 @@ impl TopologyArtifacts {
         let mut rng = StdRng::seed_from_u64(topology_seed);
         let system = spec.build(&mut rng)?;
         let routing = RoutingTable::new(&system);
-        Ok(TopologyArtifacts { system, routing })
+        Ok(TopologyArtifacts {
+            system,
+            routing,
+            hierarchy: OnceLock::new(),
+        })
+    }
+
+    /// The system-side multilevel hierarchy of this machine, built on
+    /// first call and shared afterwards. Prefer
+    /// [`TopologyCache::system_hierarchy`], which also maintains the
+    /// hit/miss counters.
+    pub fn system_hierarchy(&self) -> Result<Arc<SystemHierarchy>, GraphError> {
+        self.hierarchy
+            .get_or_init(|| SystemHierarchy::build(&self.system).map(Arc::new))
+            .clone()
     }
 }
 
@@ -48,6 +71,10 @@ pub struct CacheStats {
     pub misses: usize,
     /// Distinct topologies interned.
     pub entries: usize,
+    /// Hierarchy lookups served from an already-built hierarchy.
+    pub hierarchy_hits: usize,
+    /// Hierarchy lookups that had to build it.
+    pub hierarchy_misses: usize,
 }
 
 /// One slot per interned key; built at most once.
@@ -66,6 +93,8 @@ pub struct TopologyCache {
     slots: Mutex<HashMap<(String, u64), Arc<Slot>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    hierarchy_hits: AtomicUsize,
+    hierarchy_misses: AtomicUsize,
 }
 
 impl TopologyCache {
@@ -116,12 +145,37 @@ impl TopologyCache {
         result
     }
 
+    /// The system-side multilevel hierarchy for already-interned
+    /// artifacts, built at most once per topology (first multilevel or
+    /// online job pays; everyone after shares), with hit/miss counters.
+    pub fn system_hierarchy(
+        &self,
+        artifacts: &TopologyArtifacts,
+    ) -> Result<Arc<SystemHierarchy>, GraphError> {
+        let mut built_here = false;
+        let result = artifacts
+            .hierarchy
+            .get_or_init(|| {
+                built_here = true;
+                SystemHierarchy::build(&artifacts.system).map(Arc::new)
+            })
+            .clone();
+        if built_here {
+            self.hierarchy_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hierarchy_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
     /// Current statistics.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.slots.lock().len(),
+            hierarchy_hits: self.hierarchy_hits.load(Ordering::Relaxed),
+            hierarchy_misses: self.hierarchy_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -187,6 +241,30 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn system_hierarchy_is_built_once_and_counted() {
+        let cache = TopologyCache::new();
+        let spec = TopologySpec::Torus { rows: 8, cols: 8 };
+        let artifacts = cache.get_or_build(&spec, 0).unwrap();
+        let first = cache.system_hierarchy(&artifacts).unwrap();
+        assert_eq!(first.finest().len(), 64);
+        assert!(first.depth() > 1);
+        for _ in 0..4 {
+            let again = cache.system_hierarchy(&artifacts).unwrap();
+            assert!(Arc::ptr_eq(&first, &again));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hierarchy_misses, 1);
+        assert_eq!(stats.hierarchy_hits, 4);
+        // The direct accessor shares the same once-built value.
+        assert!(Arc::ptr_eq(&first, &artifacts.system_hierarchy().unwrap()));
+        // Flat batches never touch the hierarchy: a fresh entry has
+        // zero hierarchy traffic.
+        let other = cache.get_or_build(&TopologySpec::Ring { n: 8 }, 0).unwrap();
+        drop(other);
+        assert_eq!(cache.stats().hierarchy_misses, 1);
     }
 
     #[test]

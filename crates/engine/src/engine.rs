@@ -19,7 +19,13 @@ use mimd_taskgraph::ClusteredProblemGraph;
 
 use crate::cache::{CacheStats, TopologyCache};
 use crate::registry;
-use crate::spec::{JobResult, JobSpec};
+use crate::spec::{AlgorithmSpec, JobResult, JobSpec};
+
+/// The multilevel default `direct_threshold`, used to decide whether a
+/// multilevel job will actually consume the hierarchy.
+fn default_direct_threshold() -> usize {
+    mimd_multilevel::MultilevelConfig::default().direct_threshold
+}
 
 /// Engine tuning knobs.
 #[derive(Clone, Debug)]
@@ -233,7 +239,25 @@ fn try_execute(spec: &JobSpec, cache: &TopologyCache) -> Result<JobResult, Strin
         ClusteredProblemGraph::new(problem, clustering).map_err(|e| format!("instance: {e}"))?;
 
     let lower_bound = IdealSchedule::derive(&graph).lower_bound();
-    let algorithm = registry::instantiate(&spec.algorithm, ns);
+    // Hierarchy-consuming algorithms share the per-topology system
+    // hierarchy; built lazily so flat-only batches never pay for it
+    // (and multilevel jobs below the direct threshold skip it too).
+    let hierarchy = match &spec.algorithm {
+        AlgorithmSpec::Multilevel {
+            direct_threshold, ..
+        } if ns > direct_threshold.unwrap_or_else(default_direct_threshold) => Some(
+            cache
+                .system_hierarchy(&artifacts)
+                .map_err(|e| format!("hierarchy: {e}"))?,
+        ),
+        AlgorithmSpec::Incremental { .. } => Some(
+            cache
+                .system_hierarchy(&artifacts)
+                .map_err(|e| format!("hierarchy: {e}"))?,
+        ),
+        _ => None,
+    };
+    let algorithm = registry::instantiate_cached(&spec.algorithm, ns, hierarchy);
     let outcome = algorithm
         .run(&graph, system, lower_bound, &mut rng)
         .map_err(|e| format!("{}: {e}", algorithm.name()))?;

@@ -31,7 +31,10 @@ pub mod spec;
 pub use cache::{CacheStats, TopologyArtifacts, TopologyCache};
 pub use engine::{execute_job, CancelToken, Engine, EngineConfig};
 pub use io::{job_lines, read_jobs, sweep_jobs, write_result};
-pub use registry::{algorithm_catalog, instantiate, MultilevelStrategy, PaperStrategy};
+pub use registry::{
+    algorithm_catalog, instantiate, instantiate_cached, IncrementalStrategy, MultilevelStrategy,
+    PaperStrategy,
+};
 pub use spec::{
     paper_regime_config, AlgorithmSpec, ClusteringSpec, JobResult, JobSpec, TopologySpec,
     WorkloadSpec,

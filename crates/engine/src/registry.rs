@@ -1,9 +1,15 @@
 //! The algorithm registry: one dispatch point from a declarative
-//! [`AlgorithmSpec`] to the paper's `mimd-core` pipeline or any
-//! `mimd-baselines` algorithm, all behind the uniform
-//! [`MappingAlgorithm`] trait surface.
+//! [`AlgorithmSpec`] to the paper's `mimd-core` pipeline, the
+//! multilevel V-cycle, the online incremental remapper (cold-started),
+//! or any `mimd-baselines` algorithm, all behind the uniform
+//! [`MappingAlgorithm`] trait surface. Hierarchy-consuming algorithms
+//! (multilevel, incremental) can be handed the topology cache's shared
+//! [`SystemHierarchy`] via [`instantiate_cached`].
+
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
+use rand::RngCore;
 
 use mimd_baselines::algorithm::{
     AlgorithmOutcome, Annealing, Bokhari, LeeAggarwal, MappingAlgorithm, PairwiseExchange,
@@ -13,7 +19,8 @@ use mimd_baselines::AnnealingSchedule;
 use mimd_core::{Mapper, MapperConfig};
 use mimd_graph::error::GraphError;
 use mimd_graph::Time;
-use mimd_multilevel::{MultilevelConfig, MultilevelMapper};
+use mimd_multilevel::{MultilevelConfig, MultilevelMapper, SystemHierarchy};
+use mimd_online::{DynamicWorkload, IncrementalMapper, OnlineConfig};
 use mimd_taskgraph::ClusteredProblemGraph;
 use mimd_topology::SystemGraph;
 
@@ -48,11 +55,16 @@ impl MappingAlgorithm for PaperStrategy {
 }
 
 /// The multilevel V-cycle (`mimd-multilevel`) adapted to the uniform
-/// trait surface.
+/// trait surface. When the engine hands it the topology cache's shared
+/// hierarchy, the per-job system-side setup (matchings, contractions,
+/// per-level APSP) is skipped entirely; the result is identical either
+/// way.
 #[derive(Clone, Debug, Default)]
 pub struct MultilevelStrategy {
     /// V-cycle configuration (multilevel defaults unless overridden).
     pub config: MultilevelConfig,
+    /// Shared system-side hierarchy; `None` builds one per run.
+    pub hierarchy: Option<Arc<SystemHierarchy>>,
 }
 
 impl MappingAlgorithm for MultilevelStrategy {
@@ -67,11 +79,61 @@ impl MappingAlgorithm for MultilevelStrategy {
         _lower_bound: Time,
         rng: &mut StdRng,
     ) -> Result<AlgorithmOutcome, GraphError> {
-        let result = MultilevelMapper::with_config(self.config.clone()).map(graph, system, rng)?;
+        let mapper = MultilevelMapper::with_config(self.config.clone());
+        let result = match &self.hierarchy {
+            // Small machines take the direct path either way; only use
+            // the shared hierarchy when it actually matches the target.
+            Some(hierarchy) if hierarchy.finest().len() == system.len() => {
+                mapper.map_with_hierarchy(graph, hierarchy, rng)?
+            }
+            _ => mapper.map(graph, system, rng)?,
+        };
         Ok(AlgorithmOutcome {
             assignment: result.assignment,
             total: result.total_time,
             evaluations: result.evaluations,
+        })
+    }
+}
+
+/// The online incremental remapper (`mimd-online`), cold-started: a
+/// one-shot job plays the role of a session's initial mapping (a full
+/// V-cycle against the shared hierarchy). Trace replay — the warm path
+/// where increments actually pay off — lives behind `mimd replay`.
+#[derive(Clone, Debug, Default)]
+pub struct IncrementalStrategy {
+    /// Online configuration (defaults unless overridden).
+    pub config: OnlineConfig,
+    /// Shared system-side hierarchy; `None` builds one per run.
+    pub hierarchy: Option<Arc<SystemHierarchy>>,
+}
+
+impl MappingAlgorithm for IncrementalStrategy {
+    fn name(&self) -> &'static str {
+        "incremental"
+    }
+
+    fn run(
+        &self,
+        graph: &ClusteredProblemGraph,
+        system: &SystemGraph,
+        _lower_bound: Time,
+        rng: &mut StdRng,
+    ) -> Result<AlgorithmOutcome, GraphError> {
+        let hierarchy = match &self.hierarchy {
+            Some(hierarchy) if hierarchy.finest().len() == system.len() => Arc::clone(hierarchy),
+            _ => Arc::new(SystemHierarchy::build(system)?),
+        };
+        let seed = rng.next_u64();
+        let (session, record) = IncrementalMapper::with_config(self.config.clone()).begin(
+            DynamicWorkload::from_clustered(graph),
+            hierarchy,
+            seed,
+        )?;
+        Ok(AlgorithmOutcome {
+            assignment: session.assignment().clone(),
+            total: record.total_time,
+            evaluations: record.evaluations,
         })
     }
 }
@@ -90,6 +152,10 @@ pub fn algorithm_catalog() -> &'static [(&'static str, &'static str)] {
             "multilevel",
             "coarsen-map-refine V-cycle: heavy-edge coarsening, flat mapping at the top, group-local refinement while prolonging",
         ),
+        (
+            "incremental",
+            "online remapper cold start: full V-cycle against the cached hierarchy (trace replay: mimd replay)",
+        ),
         ("random", "best of k uniformly random placements (the paper's baseline)"),
         ("bokhari", "Bokhari's cardinality maximization with probabilistic jumps"),
         ("lee", "Lee & Aggarwal's phased communication-cost minimization with restarts"),
@@ -101,6 +167,17 @@ pub fn algorithm_catalog() -> &'static [(&'static str, &'static str)] {
 /// Instantiate the algorithm a spec names. `ns` sizes schedule-dependent
 /// defaults (the annealing schedules scale with the machine).
 pub fn instantiate(spec: &AlgorithmSpec, ns: usize) -> Box<dyn MappingAlgorithm> {
+    instantiate_cached(spec, ns, None)
+}
+
+/// Like [`instantiate`], additionally handing hierarchy-consuming
+/// algorithms a shared system-side hierarchy (the engine passes the
+/// topology cache's).
+pub fn instantiate_cached(
+    spec: &AlgorithmSpec,
+    ns: usize,
+    hierarchy: Option<Arc<SystemHierarchy>>,
+) -> Box<dyn MappingAlgorithm> {
     match *spec {
         AlgorithmSpec::Paper { refine_iterations } => Box::new(PaperStrategy {
             config: MapperConfig {
@@ -124,16 +201,53 @@ pub fn instantiate(spec: &AlgorithmSpec, ns: usize) -> Box<dyn MappingAlgorithm>
         AlgorithmSpec::Multilevel {
             direct_threshold,
             refine_rounds,
+            refine_batch,
+            refine_threads,
+        } => Box::new(MultilevelStrategy {
+            config: multilevel_config(
+                direct_threshold,
+                refine_rounds,
+                refine_batch,
+                refine_threads,
+            ),
+            hierarchy,
+        }),
+        AlgorithmSpec::Incremental {
+            migration_penalty,
+            staleness_threshold,
+            local_rounds,
+            region_size,
         } => {
-            let defaults = MultilevelConfig::default();
-            Box::new(MultilevelStrategy {
-                config: MultilevelConfig {
-                    direct_threshold: direct_threshold.unwrap_or(defaults.direct_threshold),
-                    refine_rounds: refine_rounds.unwrap_or(defaults.refine_rounds),
-                    mapper: defaults.mapper,
+            let defaults = OnlineConfig::default();
+            Box::new(IncrementalStrategy {
+                config: OnlineConfig {
+                    migration_penalty: migration_penalty.unwrap_or(defaults.migration_penalty),
+                    staleness_threshold: staleness_threshold
+                        .unwrap_or(defaults.staleness_threshold),
+                    local_rounds: local_rounds.unwrap_or(defaults.local_rounds),
+                    region_size: region_size.unwrap_or(defaults.region_size),
+                    multilevel: defaults.multilevel,
                 },
+                hierarchy,
             })
         }
+    }
+}
+
+/// Resolve optional spec fields against the multilevel defaults.
+fn multilevel_config(
+    direct_threshold: Option<usize>,
+    refine_rounds: Option<usize>,
+    refine_batch: Option<usize>,
+    refine_threads: Option<usize>,
+) -> MultilevelConfig {
+    let defaults = MultilevelConfig::default();
+    MultilevelConfig {
+        direct_threshold: direct_threshold.unwrap_or(defaults.direct_threshold),
+        refine_rounds: refine_rounds.unwrap_or(defaults.refine_rounds),
+        refine_batch: refine_batch.unwrap_or(defaults.refine_batch),
+        refine_threads: refine_threads.unwrap_or(defaults.refine_threads),
+        mapper: defaults.mapper,
     }
 }
 
@@ -162,6 +276,14 @@ mod tests {
             AlgorithmSpec::Multilevel {
                 direct_threshold: None,
                 refine_rounds: None,
+                refine_batch: None,
+                refine_threads: None,
+            },
+            AlgorithmSpec::Incremental {
+                migration_penalty: None,
+                staleness_threshold: None,
+                local_rounds: None,
+                region_size: None,
             },
         ];
         for spec in &specs {
@@ -187,6 +309,7 @@ mod tests {
             "annealing",
             "pairwise",
             "multilevel",
+            "incremental",
         ] {
             assert!(
                 algorithm_catalog().iter().any(|&(n, _)| n == name),
@@ -195,8 +318,7 @@ mod tests {
         }
     }
 
-    #[test]
-    fn multilevel_strategy_runs_a_real_vcycle() {
+    fn vcycle_instance() -> (ClusteredProblemGraph, SystemGraph) {
         use mimd_taskgraph::clustering::region::random_region_clustering;
         use mimd_taskgraph::{GeneratorConfig, LayeredDagGenerator};
         let mut rng = StdRng::seed_from_u64(8);
@@ -208,18 +330,52 @@ mod tests {
         .unwrap();
         let problem = gen.generate(&mut rng);
         let clustering = random_region_clustering(&problem, 64, &mut rng).unwrap();
-        let graph = ClusteredProblemGraph::new(problem, clustering).unwrap();
+        (
+            ClusteredProblemGraph::new(problem, clustering).unwrap(),
+            system,
+        )
+    }
+
+    #[test]
+    fn multilevel_strategy_runs_a_real_vcycle() {
+        let (graph, system) = vcycle_instance();
         let lb = IdealSchedule::derive(&graph).lower_bound();
-        let algo = instantiate(
-            &AlgorithmSpec::Multilevel {
-                direct_threshold: Some(16),
-                refine_rounds: Some(8),
-            },
-            64,
-        );
+        let spec = AlgorithmSpec::Multilevel {
+            direct_threshold: Some(16),
+            refine_rounds: Some(8),
+            refine_batch: None,
+            refine_threads: None,
+        };
+        let algo = instantiate(&spec, 64);
+        let mut rng = StdRng::seed_from_u64(8);
         let out = algo.run(&graph, &system, lb, &mut rng).unwrap();
         assert!(out.total >= lb);
         assert_eq!(out.assignment.len(), 64);
+
+        // A cached hierarchy produces the identical result.
+        let hierarchy = Arc::new(SystemHierarchy::build(&system).unwrap());
+        let cached = instantiate_cached(&spec, 64, Some(hierarchy));
+        let mut rng = StdRng::seed_from_u64(8);
+        let out2 = cached.run(&graph, &system, lb, &mut rng).unwrap();
+        assert_eq!(out2.assignment, out.assignment);
+        assert_eq!(out2.total, out.total);
+    }
+
+    #[test]
+    fn incremental_strategy_cold_starts_with_a_full_vcycle() {
+        let (graph, system) = vcycle_instance();
+        let lb = IdealSchedule::derive(&graph).lower_bound();
+        let hierarchy = Arc::new(SystemHierarchy::build(&system).unwrap());
+        let algo = instantiate_cached(
+            &AlgorithmSpec::parse("incremental").unwrap(),
+            64,
+            Some(hierarchy),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = algo.run(&graph, &system, lb, &mut rng).unwrap();
+        assert!(out.total >= lb);
+        assert_eq!(out.assignment.len(), 64);
+        assert!(out.evaluations > 0);
     }
 
     #[test]

@@ -253,6 +253,29 @@ pub enum AlgorithmSpec {
         /// Group-local refinement rounds per uncoarsening level;
         /// `None` uses the multilevel default (16).
         refine_rounds: Option<usize>,
+        /// Refinement candidates per acceptance batch; `None` uses the
+        /// multilevel default (1 = classic sequential).
+        refine_batch: Option<usize>,
+        /// Worker threads evaluating a refinement batch; never changes
+        /// the result. `None` uses the multilevel default (1).
+        refine_threads: Option<usize>,
+    },
+    /// The online incremental remapper (`mimd-online`), cold-started:
+    /// one initial full V-cycle against the cached system hierarchy —
+    /// the entry point a trace replay session begins from.
+    Incremental {
+        /// Cost charged per migrated cluster; `None` uses the online
+        /// default (2).
+        migration_penalty: Option<u64>,
+        /// Drift fraction triggering a full V-cycle; `None` uses the
+        /// online default (0.25).
+        staleness_threshold: Option<f64>,
+        /// Candidate evaluations per incremental event; `None` uses
+        /// the online default (6).
+        local_rounds: Option<usize>,
+        /// Minimum processors per refinement region; `None` uses the
+        /// online default (8).
+        region_size: Option<usize>,
     },
 }
 
@@ -267,6 +290,7 @@ impl AlgorithmSpec {
             AlgorithmSpec::Annealing { .. } => "annealing",
             AlgorithmSpec::Pairwise { .. } => "pairwise",
             AlgorithmSpec::Multilevel { .. } => "multilevel",
+            AlgorithmSpec::Incremental { .. } => "incremental",
         }
     }
 
@@ -286,10 +310,18 @@ impl AlgorithmSpec {
             "multilevel" => Ok(AlgorithmSpec::Multilevel {
                 direct_threshold: None,
                 refine_rounds: None,
+                refine_batch: None,
+                refine_threads: None,
+            }),
+            "incremental" => Ok(AlgorithmSpec::Incremental {
+                migration_penalty: None,
+                staleness_threshold: None,
+                local_rounds: None,
+                region_size: None,
             }),
             other => Err(format!(
                 "unknown algorithm '{other}' \
-                 (paper|random|bokhari|lee|annealing|pairwise|multilevel)"
+                 (paper|random|bokhari|lee|annealing|pairwise|multilevel|incremental)"
             )),
         }
     }
@@ -471,6 +503,7 @@ mod tests {
             "annealing",
             "pairwise",
             "multilevel",
+            "incremental",
         ] {
             assert_eq!(AlgorithmSpec::parse(name).unwrap().name(), name);
         }

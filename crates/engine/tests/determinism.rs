@@ -23,6 +23,14 @@ fn portfolio_batch() -> Vec<JobSpec> {
         AlgorithmSpec::Multilevel {
             direct_threshold: None,
             refine_rounds: None,
+            refine_batch: None,
+            refine_threads: None,
+        },
+        AlgorithmSpec::Incremental {
+            migration_penalty: None,
+            staleness_threshold: None,
+            local_rounds: None,
+            region_size: None,
         },
     ];
     let instances = [
@@ -61,8 +69,29 @@ fn portfolio_batch() -> Vec<JobSpec> {
     // The small instances above exercise multilevel's direct path only;
     // add jobs big enough (ns = 64 > direct_threshold 32) for real
     // V-cycles, so the determinism contract covers coarsen + prolong +
-    // group-local refinement too.
+    // group-local refinement too — including the batched refiner with
+    // nested worker threads (whose output must not depend on either the
+    // engine's or the refiner's thread count).
     for seed in 0..3u64 {
+        for refine_threads in [None, Some(4)] {
+            jobs.push(JobSpec {
+                id: None,
+                workload: WorkloadSpec::Layered {
+                    tasks: 160,
+                    width: None,
+                },
+                clustering: None,
+                topology: TopologySpec::Torus { rows: 8, cols: 8 },
+                topology_seed: None,
+                algorithm: AlgorithmSpec::Multilevel {
+                    direct_threshold: Some(8),
+                    refine_rounds: Some(6),
+                    refine_batch: Some(3),
+                    refine_threads,
+                },
+                seed,
+            });
+        }
         jobs.push(JobSpec {
             id: None,
             workload: WorkloadSpec::Layered {
@@ -72,9 +101,11 @@ fn portfolio_batch() -> Vec<JobSpec> {
             clustering: None,
             topology: TopologySpec::Torus { rows: 8, cols: 8 },
             topology_seed: None,
-            algorithm: AlgorithmSpec::Multilevel {
-                direct_threshold: Some(8),
-                refine_rounds: Some(6),
+            algorithm: AlgorithmSpec::Incremental {
+                migration_penalty: Some(1),
+                staleness_threshold: None,
+                local_rounds: None,
+                region_size: None,
             },
             seed,
         });
@@ -110,6 +141,42 @@ fn batch_output_is_byte_identical_across_thread_counts() {
 fn batch_output_is_stable_across_runs_of_the_same_engine_shape() {
     let jobs = portfolio_batch();
     assert_eq!(run_to_jsonl(&jobs, 4), run_to_jsonl(&jobs, 4));
+}
+
+#[test]
+fn refine_thread_count_never_changes_multilevel_output() {
+    // Same jobs, only the refiner's worker count differs: the emitted
+    // JSONL must be byte-identical (the batch, not the thread count, is
+    // the unit of acceptance).
+    let jobs_with = |refine_threads: Option<usize>| -> Vec<JobSpec> {
+        (0..3u64)
+            .map(|seed| JobSpec {
+                id: None,
+                workload: WorkloadSpec::Layered {
+                    tasks: 192,
+                    width: None,
+                },
+                clustering: None,
+                topology: TopologySpec::Mesh { rows: 8, cols: 12 },
+                topology_seed: None,
+                algorithm: AlgorithmSpec::Multilevel {
+                    direct_threshold: Some(8),
+                    refine_rounds: Some(12),
+                    refine_batch: Some(4),
+                    refine_threads,
+                },
+                seed,
+            })
+            .collect()
+    };
+    let reference = run_to_jsonl(&jobs_with(None), 2);
+    for threads in [2, 8] {
+        assert_eq!(
+            run_to_jsonl(&jobs_with(Some(threads)), 2),
+            reference,
+            "refine_threads {threads} changed the mapping"
+        );
+    }
 }
 
 #[test]

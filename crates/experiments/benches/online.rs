@@ -1,0 +1,183 @@
+//! Incremental remapping vs. per-event from-scratch multilevel on
+//! churning workloads at `ns ∈ {256, 512, 1024}`.
+//!
+//! The acceptance bar for the online subsystem: serving a trace event
+//! incrementally (shared system hierarchy + previous assignment +
+//! region-local refinement) is ≥ 5× faster per event than running a
+//! fresh multilevel V-cycle per event, with total mapping quality
+//! (summed totals over the trace) within 5%. The `summary` target
+//! prints a table with the measured per-event times, speedups and
+//! quality ratios so the claim is checkable from one `cargo bench` run.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mimd_engine::{ClusteringSpec, WorkloadSpec};
+use mimd_multilevel::{MultilevelMapper, SystemHierarchy};
+use mimd_online::{DynamicWorkload, IncrementalMapper, TraceEvent};
+use mimd_taskgraph::workloads::{churn_trace, ChurnRegime};
+use mimd_taskgraph::ClusteredProblemGraph;
+use mimd_topology::{SystemGraph, TopologySpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One timed trace replay: seconds per event plus summed totals and
+/// lower bounds over all events.
+struct Run {
+    per_event: f64,
+    total_sum: u64,
+    lower_bound_sum: u64,
+}
+
+impl Run {
+    fn percent_over(&self) -> f64 {
+        100.0 * self.total_sum as f64 / self.lower_bound_sum as f64
+    }
+}
+
+/// The benchmark grid: tori at 256, 512 and 1024 processors (the
+/// acceptance machine is the 512-node torus).
+fn machines() -> Vec<SystemGraph> {
+    let specs = [
+        TopologySpec::Torus { rows: 16, cols: 16 },
+        TopologySpec::Torus { rows: 16, cols: 32 },
+        TopologySpec::Torus { rows: 32, cols: 32 },
+    ];
+    let mut rng = StdRng::seed_from_u64(0);
+    specs.iter().map(|s| s.build(&mut rng).unwrap()).collect()
+}
+
+/// One instance per machine (engine defaults: paper-regime DAG with
+/// `np = 2 ns`, region-clustered to `na = ns`) plus a mixed churn
+/// trace.
+fn instance(ns: usize, events: usize) -> (ClusteredProblemGraph, Vec<TraceEvent>) {
+    let mut rng = StdRng::seed_from_u64(1991);
+    let problem = WorkloadSpec::PaperRegime { tasks: 2 * ns }
+        .build(&mut rng)
+        .unwrap();
+    let clustering = ClusteringSpec::Region
+        .build(&problem, ns, &mut rng)
+        .unwrap();
+    let base = ClusteredProblemGraph::new(problem, clustering).unwrap();
+    let trace = churn_trace(&base, events, ChurnRegime::Mixed, &mut rng);
+    (base, trace)
+}
+
+/// Serve the whole trace incrementally (shared hierarchy, previous
+/// assignment kept alive).
+fn run_incremental(
+    base: &ClusteredProblemGraph,
+    trace: &[TraceEvent],
+    hierarchy: &Arc<SystemHierarchy>,
+) -> Run {
+    let (mut session, _) = IncrementalMapper::new()
+        .begin(
+            DynamicWorkload::from_clustered(base),
+            Arc::clone(hierarchy),
+            7,
+        )
+        .unwrap();
+    let start = Instant::now();
+    let (mut total_sum, mut lower_bound_sum) = (0u64, 0u64);
+    for event in trace {
+        let record = session.apply(event);
+        assert!(record.error.is_none(), "{:?}", record.error);
+        total_sum += record.total_time;
+        lower_bound_sum += record.lower_bound;
+    }
+    Run {
+        per_event: start.elapsed().as_secs_f64() / trace.len() as f64,
+        total_sum,
+        lower_bound_sum,
+    }
+}
+
+/// Serve every event with a fresh multilevel V-cycle (hierarchy built
+/// from scratch each time — exactly what a stateless mapper would do).
+fn run_scratch(base: &ClusteredProblemGraph, trace: &[TraceEvent], system: &SystemGraph) -> Run {
+    let mut state = DynamicWorkload::from_clustered(base);
+    let start = Instant::now();
+    let (mut total_sum, mut lower_bound_sum) = (0u64, 0u64);
+    for (i, event) in trace.iter().enumerate() {
+        state.apply(event).unwrap();
+        let graph = state.materialize().unwrap();
+        let mut rng = StdRng::seed_from_u64(7 ^ i as u64);
+        let result = MultilevelMapper::new()
+            .map(&graph, system, &mut rng)
+            .unwrap();
+        total_sum += result.total_time;
+        lower_bound_sum += result.lower_bound;
+    }
+    Run {
+        per_event: start.elapsed().as_secs_f64() / trace.len() as f64,
+        total_sum,
+        lower_bound_sum,
+    }
+}
+
+fn bench_event_service(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online");
+    group.sample_size(2);
+    for system in machines().into_iter().take(2) {
+        let ns = system.len();
+        let (base, trace) = instance(ns, 24);
+        let hierarchy = Arc::new(SystemHierarchy::build(&system).unwrap());
+        group.bench_with_input(
+            BenchmarkId::new("incremental", system.name()),
+            &ns,
+            |b, _| b.iter(|| run_incremental(&base, &trace, &hierarchy)),
+        );
+        group.bench_with_input(BenchmarkId::new("scratch", system.name()), &ns, |b, _| {
+            b.iter(|| run_scratch(&base, &trace, &system))
+        });
+    }
+    group.finish();
+}
+
+/// Head-to-head summary: one timed replay per machine and mode,
+/// printing per-event wall-clock, speedup and quality side by side.
+fn summary(_c: &mut Criterion) {
+    println!(
+        "{:<18} {:>5} {:>7} {:>12} {:>12} {:>9} {:>9} {:>9} {:>9}",
+        "machine",
+        "ns",
+        "events",
+        "inc ms/ev",
+        "scr ms/ev",
+        "speedup",
+        "inc %lb",
+        "scr %lb",
+        "quality"
+    );
+    for system in machines() {
+        let ns = system.len();
+        let events = if ns >= 1024 { 24 } else { 40 };
+        let (base, trace) = instance(ns, events);
+
+        let hierarchy = Arc::new(SystemHierarchy::build(&system).unwrap());
+        let incremental = run_incremental(&base, &trace, &hierarchy);
+        let scratch = run_scratch(&base, &trace, &system);
+
+        println!(
+            "{:<18} {:>5} {:>7} {:>12.1} {:>12.1} {:>8.1}x {:>8.1}% {:>8.1}% {:>9.3}",
+            system.name(),
+            ns,
+            events,
+            incremental.per_event * 1e3,
+            scratch.per_event * 1e3,
+            scratch.per_event / incremental.per_event,
+            incremental.percent_over(),
+            scratch.percent_over(),
+            incremental.total_sum as f64 / scratch.total_sum as f64,
+        );
+    }
+    println!(
+        "\nacceptance: speedup >= 5x per event at ns = 512; \
+         quality (sum of incremental totals / sum of scratch totals) <= 1.05"
+    );
+}
+
+criterion_group!(benches, bench_event_service, summary);
+criterion_main!(benches);

@@ -2,12 +2,23 @@
 //! system side, heavy-edge cluster merges on the problem side, one
 //! [`Coarsening`] record per level describing the projection maps.
 //!
+//! The two sides have very different lifetimes. The **system side**
+//! (matchings, contracted machines and their APSP matrices) depends only
+//! on the topology, so it is split out as [`SystemHierarchy`]: built
+//! once per machine, shared behind `Arc`s by every V-cycle and by the
+//! online remapper (the batch engine caches it per topology). The
+//! **problem side** (cluster merges) is per job and lives in
+//! [`Hierarchy`], which pairs a problem-side chain with a prefix of a
+//! system hierarchy.
+//!
 //! Every level keeps the paper's `na = ns` invariant: the system graph
 //! is contracted along a maximal matching into `m` connected processor
 //! groups, and the clustering is merged by heavy-edge matching on the
 //! abstract graph until exactly `m` clusters remain. Both projections
 //! conserve weight — task weight trivially (tasks never merge), cut
 //! weight as `fine_cut = coarse_cut + internalized`.
+
+use std::sync::Arc;
 
 use mimd_graph::error::GraphError;
 use mimd_graph::matching::{greedy_matching, heavy_edge_matching};
@@ -21,11 +32,10 @@ use mimd_topology::SystemGraph;
 /// where a matching can only ever remove one node per level.
 const STALL_RATIO: f64 = 0.9;
 
-/// The projection maps from one level to the next-coarser one.
+/// One system-side contraction step: how the processors of a fine level
+/// collapse into the groups of the next-coarser level.
 #[derive(Clone, Debug)]
-pub struct Coarsening {
-    /// `cluster_map[c]` = coarse cluster absorbing fine cluster `c`.
-    pub cluster_map: Vec<ClusterId>,
+pub struct SystemCoarsening {
     /// `proc_map[s]` = coarse processor (group) containing fine
     /// processor `s`.
     pub proc_map: Vec<NodeId>,
@@ -33,8 +43,153 @@ pub struct Coarsening {
     /// ascending. Every group is a connected subgraph of the fine
     /// system (a matched pair or a singleton).
     pub groups: Vec<Vec<NodeId>>,
+}
+
+/// The topology-only half of the multilevel hierarchy: the chain of
+/// contracted machines (each with its APSP matrix) and the matching
+/// steps between them. Depends only on the system graph, never on the
+/// job, so one instance can serve every multilevel and online job on
+/// that machine. The chain is built all the way down (until one
+/// processor remains or a matching stalls); each consumer uses the
+/// prefix ending at [`SystemHierarchy::top_level_for`] its own target.
+#[derive(Clone, Debug)]
+pub struct SystemHierarchy {
+    systems: Vec<Arc<SystemGraph>>,
+    steps: Vec<Arc<SystemCoarsening>>,
+}
+
+impl SystemHierarchy {
+    /// Contract `system` along greedy maximal matchings until one
+    /// processor remains or a step stops making progress (shrinkage
+    /// above [`STALL_RATIO`]).
+    pub fn build(system: &SystemGraph) -> Result<SystemHierarchy, GraphError> {
+        let mut systems = vec![Arc::new(system.clone())];
+        let mut steps: Vec<Arc<SystemCoarsening>> = Vec::new();
+        loop {
+            let current = systems.last().expect("non-empty");
+            let n = current.len();
+            if n <= 1 {
+                break;
+            }
+            let pairs = greedy_matching(current.graph());
+            if (n - pairs.len()) as f64 > STALL_RATIO * n as f64 {
+                break; // pathological topology (e.g. star): give up early
+            }
+            let mut partner = vec![usize::MAX; n];
+            for &(a, b) in &pairs {
+                partner[a] = b;
+                partner[b] = a;
+            }
+            let mut proc_map = vec![usize::MAX; n];
+            let mut groups: Vec<Vec<NodeId>> = Vec::with_capacity(n - pairs.len());
+            for u in 0..n {
+                if proc_map[u] != usize::MAX {
+                    continue;
+                }
+                let gid = groups.len();
+                proc_map[u] = gid;
+                let mut members = vec![u];
+                let p = partner[u];
+                if p != usize::MAX {
+                    proc_map[p] = gid;
+                    members.push(p);
+                    members.sort_unstable();
+                }
+                groups.push(members);
+            }
+            let m = groups.len();
+            let mut contracted = UnGraph::new(m);
+            for (u, v) in current.graph().edges() {
+                if proc_map[u] != proc_map[v] {
+                    contracted.add_edge(proc_map[u], proc_map[v])?;
+                }
+            }
+            let coarse = SystemGraph::new(format!("{}/coarse[{m}]", system.name()), contracted)?;
+            steps.push(Arc::new(SystemCoarsening { proc_map, groups }));
+            systems.push(Arc::new(coarse));
+        }
+        Ok(SystemHierarchy { systems, steps })
+    }
+
+    /// The machines, finest first; `systems()[0]` is the original.
+    pub fn systems(&self) -> &[Arc<SystemGraph>] {
+        &self.systems
+    }
+
+    /// The contraction steps; `steps()[k]` goes from level `k` to
+    /// `k + 1`.
+    pub fn steps(&self) -> &[Arc<SystemCoarsening>] {
+        &self.steps
+    }
+
+    /// The original (finest) machine.
+    pub fn finest(&self) -> &Arc<SystemGraph> {
+        &self.systems[0]
+    }
+
+    /// Number of levels including the finest.
+    pub fn depth(&self) -> usize {
+        self.systems.len()
+    }
+
+    /// The level a consumer with machine-size target `target_ns` solves
+    /// directly: the first level with at most `target_ns` processors, or
+    /// the coarsest available when the chain stalled earlier.
+    pub fn top_level_for(&self, target_ns: usize) -> usize {
+        let target = target_ns.max(1);
+        self.systems
+            .iter()
+            .position(|s| s.len() <= target)
+            .unwrap_or(self.systems.len() - 1)
+    }
+
+    /// The composed projection onto `level`: `image[s]` = the level-
+    /// `level` node containing finest processor `s`. Level 0 is the
+    /// identity.
+    pub fn image_at(&self, level: usize) -> Vec<NodeId> {
+        let mut image: Vec<NodeId> = (0..self.systems[0].len()).collect();
+        for step in &self.steps[..level] {
+            for slot in image.iter_mut() {
+                *slot = step.proc_map[*slot];
+            }
+        }
+        image
+    }
+
+    /// The finest-level processors of every level-`level` node — the
+    /// "processor neighborhoods" the online remapper refines within.
+    pub fn members_at(&self, level: usize) -> Vec<Vec<NodeId>> {
+        let mut members = vec![Vec::new(); self.systems[level].len()];
+        for (s, &g) in self.image_at(level).iter().enumerate() {
+            members[g].push(s);
+        }
+        members
+    }
+}
+
+/// The projection maps from one level to the next-coarser one.
+#[derive(Clone, Debug)]
+pub struct Coarsening {
+    /// `cluster_map[c]` = coarse cluster absorbing fine cluster `c`.
+    pub cluster_map: Vec<ClusterId>,
     /// Cross-cluster weight that became intra-cluster in this step.
     pub internalized_weight: Weight,
+    /// The shared system-side half of this step.
+    step: Arc<SystemCoarsening>,
+}
+
+impl Coarsening {
+    /// `proc_map()[s]` = coarse processor (group) containing fine
+    /// processor `s`.
+    pub fn proc_map(&self) -> &[NodeId] {
+        &self.step.proc_map
+    }
+
+    /// `groups()[g]` = fine member processors of coarse processor `g`,
+    /// ascending (matched pair or singleton, always connected).
+    pub fn groups(&self) -> &[Vec<NodeId>] {
+        &self.step.groups
+    }
 }
 
 /// One level of the hierarchy: a clustered problem graph and a system
@@ -43,8 +198,9 @@ pub struct Coarsening {
 pub struct Level {
     /// The (possibly coarsened) clustered problem graph.
     pub graph: ClusteredProblemGraph,
-    /// The (possibly contracted) system graph.
-    pub system: SystemGraph,
+    /// The (possibly contracted) system graph, shared with the system
+    /// hierarchy it came from.
+    pub system: Arc<SystemGraph>,
 }
 
 /// The whole V-cycle input: `levels[0]` is the finest (original)
@@ -60,33 +216,54 @@ impl Hierarchy {
     /// Coarsen `(graph, system)` until the machine has at most
     /// `target_ns` processors or a step stops making progress
     /// (shrinkage above [`STALL_RATIO`]). Requires `na == ns`; the
-    /// result always contains at least the finest level.
+    /// result always contains at least the finest level. Builds a fresh
+    /// [`SystemHierarchy`] — callers mapping repeatedly on one machine
+    /// should build that once and use
+    /// [`Hierarchy::from_system_hierarchy`].
     pub fn build(
         graph: &ClusteredProblemGraph,
         system: &SystemGraph,
         target_ns: usize,
     ) -> Result<Hierarchy, GraphError> {
-        if graph.num_clusters() != system.len() {
+        let sys = SystemHierarchy::build(system)?;
+        Hierarchy::from_system_hierarchy(graph, &sys, target_ns)
+    }
+
+    /// Pair `graph` with the prefix of a prebuilt (typically cached)
+    /// [`SystemHierarchy`], running only the per-job problem-side
+    /// coarsening. Produces exactly the same hierarchy as
+    /// [`Hierarchy::build`] on the same inputs.
+    pub fn from_system_hierarchy(
+        graph: &ClusteredProblemGraph,
+        sys: &SystemHierarchy,
+        target_ns: usize,
+    ) -> Result<Hierarchy, GraphError> {
+        if graph.num_clusters() != sys.finest().len() {
             return Err(GraphError::SizeMismatch {
                 left: graph.num_clusters(),
-                right: system.len(),
+                right: sys.finest().len(),
             });
         }
-        let target_ns = target_ns.max(1);
+        let top = sys.top_level_for(target_ns);
         let mut levels = vec![Level {
             graph: graph.clone(),
-            system: system.clone(),
+            system: Arc::clone(sys.finest()),
         }];
-        let mut coarsenings = Vec::new();
-        while levels.last().expect("non-empty").system.len() > target_ns {
-            let current = levels.last().expect("non-empty");
-            match coarsen_step(&current.graph, &current.system, system.name())? {
-                Some((coarsening, coarse)) => {
-                    coarsenings.push(coarsening);
-                    levels.push(coarse);
-                }
-                None => break, // pathological topology (e.g. star): give up early
-            }
+        let mut coarsenings = Vec::with_capacity(top);
+        for k in 0..top {
+            let step = &sys.steps()[k];
+            let fine = &levels[k].graph;
+            let (cluster_map, internalized_weight, coarse_graph) =
+                merge_clusters(fine, step.groups.len())?;
+            coarsenings.push(Coarsening {
+                cluster_map,
+                internalized_weight,
+                step: Arc::clone(step),
+            });
+            levels.push(Level {
+                graph: coarse_graph,
+                system: Arc::clone(&sys.systems()[k + 1]),
+            });
         }
         Ok(Hierarchy {
             levels,
@@ -116,49 +293,13 @@ impl Hierarchy {
     }
 }
 
-/// One coarsening step: contract the system along a maximal matching,
-/// then merge clusters (heaviest abstract edges first) down to the same
-/// count. Returns `None` when the matching shrinks the machine by less
-/// than [`STALL_RATIO`] — decided before any problem-side work or coarse
-/// APSP is spent, so stalling topologies cost one matching and nothing
-/// else.
-fn coarsen_step(
+/// The problem-side half of one coarsening step: merge clusters
+/// (heaviest abstract edges first) down to exactly `m`, returning the
+/// projection map, the internalized cut weight and the coarse graph.
+fn merge_clusters(
     graph: &ClusteredProblemGraph,
-    system: &SystemGraph,
-    finest_name: &str,
-) -> Result<Option<(Coarsening, Level)>, GraphError> {
-    let n = system.len();
-
-    // --- System side: matched processor groups. -------------------------
-    let pairs = greedy_matching(system.graph());
-    if (n - pairs.len()) as f64 > STALL_RATIO * n as f64 {
-        return Ok(None);
-    }
-    let mut partner = vec![usize::MAX; n];
-    for &(a, b) in &pairs {
-        partner[a] = b;
-        partner[b] = a;
-    }
-    let mut proc_map = vec![usize::MAX; n];
-    let mut groups: Vec<Vec<NodeId>> = Vec::with_capacity(n - pairs.len());
-    for u in 0..n {
-        if proc_map[u] != usize::MAX {
-            continue;
-        }
-        let gid = groups.len();
-        proc_map[u] = gid;
-        let mut members = vec![u];
-        let p = partner[u];
-        if p != usize::MAX {
-            proc_map[p] = gid;
-            members.push(p);
-            members.sort_unstable();
-        }
-        groups.push(members);
-    }
-    let m = groups.len();
-
-    // --- Problem side: merge clusters down to exactly `m`. ---------------
+    m: usize,
+) -> Result<(Vec<ClusterId>, Weight, ClusteredProblemGraph), GraphError> {
     let na = graph.num_clusters();
     let merges_needed = na - m;
     let abstract_graph = AbstractGraph::new(graph);
@@ -209,33 +350,13 @@ fn coarsen_step(
     }
     debug_assert_eq!(next, m);
 
-    // --- Derived level + conservation bookkeeping. -----------------------
     let internalized_weight = graph
         .cross_edges()
         .filter(|&(u, v, _)| cluster_map[graph.cluster_of(u)] == cluster_map[graph.cluster_of(v)])
         .map(|(_, _, w)| w)
         .sum();
     let coarse_graph = graph.coarsen(&cluster_map)?;
-    let mut contracted = UnGraph::new(m);
-    for (u, v) in system.graph().edges() {
-        if proc_map[u] != proc_map[v] {
-            contracted.add_edge(proc_map[u], proc_map[v])?;
-        }
-    }
-    let coarse_system = SystemGraph::new(format!("{finest_name}/coarse[{m}]"), contracted)?;
-
-    Ok(Some((
-        Coarsening {
-            cluster_map,
-            proc_map,
-            groups,
-            internalized_weight,
-        },
-        Level {
-            graph: coarse_graph,
-            system: coarse_system,
-        },
-    )))
+    Ok((cluster_map, internalized_weight, coarse_graph))
 }
 
 #[cfg(test)]
@@ -297,14 +418,14 @@ mod tests {
                 coarse.graph.total_cut_weight() + coarsening.internalized_weight
             );
             // Groups partition the fine machine.
-            let total: usize = coarsening.groups.iter().map(Vec::len).sum();
+            let total: usize = coarsening.groups().iter().map(Vec::len).sum();
             assert_eq!(total, fine.system.len());
             // Group members are mutually reachable in <= 1 hop (matched
             // pair or singleton) — connected processor groups.
-            for (g, members) in coarsening.groups.iter().enumerate() {
+            for (g, members) in coarsening.groups().iter().enumerate() {
                 assert!(members.len() <= 2);
                 for &s in members {
-                    assert_eq!(coarsening.proc_map[s], g);
+                    assert_eq!(coarsening.proc_map()[s], g);
                 }
                 if let [a, b] = members[..] {
                     assert!(fine.system.adjacent(a, b));
@@ -329,5 +450,53 @@ mod tests {
         let system = mesh2d(4, 4).unwrap();
         let graph = instance(40, 8, 1);
         assert!(Hierarchy::build(&graph, &system, 4).is_err());
+    }
+
+    #[test]
+    fn cached_system_hierarchy_reproduces_a_fresh_build() {
+        let system = torus2d(8, 8).unwrap();
+        let sys = SystemHierarchy::build(&system).unwrap();
+        // The chain goes all the way down; each consumer's prefix ends
+        // at the first level small enough for its target.
+        assert_eq!(sys.finest().len(), 64);
+        assert!(sys.systems().last().unwrap().len() <= 2);
+        for target in [1, 4, 8, 32, 64, 1000] {
+            let top = sys.top_level_for(target);
+            assert!(sys.systems()[top].len() <= target.max(1) || top == sys.depth() - 1);
+            let graph = instance(128, 64, 9);
+            let fresh = Hierarchy::build(&graph, &system, target).unwrap();
+            let cached = Hierarchy::from_system_hierarchy(&graph, &sys, target).unwrap();
+            assert_eq!(fresh.depth(), cached.depth(), "target {target}");
+            for (a, b) in fresh.levels().iter().zip(cached.levels()) {
+                assert_eq!(a.graph, b.graph);
+                assert_eq!(a.system.graph(), b.system.graph());
+                assert_eq!(a.system.distances(), b.system.distances());
+            }
+            for (a, b) in fresh.coarsenings().iter().zip(cached.coarsenings()) {
+                assert_eq!(a.cluster_map, b.cluster_map);
+                assert_eq!(a.internalized_weight, b.internalized_weight);
+                assert_eq!(a.proc_map(), b.proc_map());
+                assert_eq!(a.groups(), b.groups());
+            }
+        }
+    }
+
+    #[test]
+    fn images_and_members_compose_the_proc_maps() {
+        let system = mesh2d(4, 4).unwrap();
+        let sys = SystemHierarchy::build(&system).unwrap();
+        assert_eq!(sys.image_at(0), (0..16).collect::<Vec<_>>());
+        for level in 0..sys.depth() {
+            let image = sys.image_at(level);
+            let members = sys.members_at(level);
+            assert_eq!(members.len(), sys.systems()[level].len());
+            // Every finest processor appears in exactly the member list
+            // of its image.
+            for (s, &g) in image.iter().enumerate() {
+                assert!(members[g].contains(&s));
+            }
+            let total: usize = members.iter().map(Vec::len).sum();
+            assert_eq!(total, 16);
+        }
     }
 }

@@ -9,10 +9,12 @@
 //! prolong the solution down with local refinement. This crate is that
 //! scheme with the paper's strategy as its kernel:
 //!
-//! * [`hierarchy`] — [`Hierarchy::build`] contracts the system graph
-//!   along maximal matchings into connected processor groups and merges
-//!   clusters by heavy-edge matching on the abstract graph, keeping
-//!   `na = ns` at every level and conserving task/cut weight.
+//! * [`hierarchy`] — [`SystemHierarchy::build`] contracts the system
+//!   graph along maximal matchings into connected processor groups
+//!   (topology-only, so the batch engine caches it per machine);
+//!   [`Hierarchy`] pairs a prefix of that chain with per-job heavy-edge
+//!   cluster merges on the abstract graph, keeping `na = ns` at every
+//!   level and conserving task/cut weight.
 //! * The **top level** (`ns ≤ direct_threshold`) is solved by the
 //!   unmodified `mimd_core::Mapper` — ideal schedule, critical edges,
 //!   greedy placement, randomized refinement.
@@ -30,6 +32,6 @@ pub mod hierarchy;
 pub mod mapper;
 pub mod refine;
 
-pub use hierarchy::{Coarsening, Hierarchy, Level};
+pub use hierarchy::{Coarsening, Hierarchy, Level, SystemCoarsening, SystemHierarchy};
 pub use mapper::{MultilevelConfig, MultilevelMapper, MultilevelResult};
-pub use refine::{refine_within_groups, LocalRefineConfig, LocalRefineOutcome};
+pub use refine::{refine_batched, refine_within_groups, LocalRefineConfig, LocalRefineOutcome};

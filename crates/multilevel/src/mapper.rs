@@ -10,7 +10,7 @@ use mimd_graph::Time;
 use mimd_taskgraph::{ClusterId, ClusteredProblemGraph};
 use mimd_topology::SystemGraph;
 
-use crate::hierarchy::{Coarsening, Hierarchy};
+use crate::hierarchy::{Coarsening, Hierarchy, SystemHierarchy};
 use crate::refine::{refine_within_groups, LocalRefineConfig};
 
 /// Multilevel configuration.
@@ -19,8 +19,16 @@ pub struct MultilevelConfig {
     /// Machine size at or below which the flat paper pipeline runs
     /// directly (also the top-level target of the coarsening loop).
     pub direct_threshold: usize,
-    /// Group-local refinement rounds per level during uncoarsening.
+    /// Group-local refinement rounds (candidate evaluations) per level
+    /// during uncoarsening.
     pub refine_rounds: usize,
+    /// Candidates drawn per refinement batch. The batch is the unit of
+    /// acceptance (best improving candidate wins, ties to the earliest),
+    /// so output depends on this value but never on `refine_threads`.
+    /// 1 reproduces the classic sequential accept-first-improvement loop.
+    pub refine_batch: usize,
+    /// Worker threads evaluating a refinement batch (<= 1 = inline).
+    pub refine_threads: usize,
     /// Configuration of the flat mapper used at the top level (and for
     /// direct solves); its `model` is also the refinement objective.
     pub mapper: MapperConfig,
@@ -31,6 +39,8 @@ impl Default for MultilevelConfig {
         MultilevelConfig {
             direct_threshold: 32,
             refine_rounds: 16,
+            refine_batch: 1,
+            refine_threads: 1,
             mapper: MapperConfig::default(),
         }
     }
@@ -92,7 +102,10 @@ impl MultilevelMapper {
     /// Map `graph` onto `system` (requires `na == ns`, like the flat
     /// pipeline). All randomness flows from `rng` in a fixed order
     /// (top-level mapper first, then one refinement pass per level), so
-    /// a seed fully determines the result.
+    /// a seed fully determines the result. Builds a fresh system-side
+    /// hierarchy; callers mapping repeatedly on one machine should
+    /// build a [`SystemHierarchy`] once (or fetch it from the engine's
+    /// topology cache) and call [`MultilevelMapper::map_with_hierarchy`].
     pub fn map(
         &self,
         graph: &ClusteredProblemGraph,
@@ -105,23 +118,36 @@ impl MultilevelMapper {
                 right: system.len(),
             });
         }
-        let lower_bound = IdealSchedule::derive(graph).lower_bound();
-        let flat = Mapper::with_config(self.config.mapper.clone());
         if system.len() <= self.config.direct_threshold.max(1) {
-            let result = flat.map(graph, system, rng)?;
-            return Ok(MultilevelResult {
-                reached_lower_bound: result.total_time == lower_bound,
-                assignment: result.assignment,
-                total_time: result.total_time,
-                lower_bound,
-                levels: 1,
-                top_ns: system.len(),
-                evaluations: result.refinement.iterations_used,
-                improvements: result.refinement.improvements,
+            return self.map_direct(graph, system, rng);
+        }
+        let sys = SystemHierarchy::build(system)?;
+        self.map_with_hierarchy(graph, &sys, rng)
+    }
+
+    /// Map against a prebuilt (typically cached) system-side hierarchy,
+    /// skipping the per-topology matchings, contractions and APSP
+    /// sweeps. Produces exactly the result of [`MultilevelMapper::map`]
+    /// on `sys.finest()`.
+    pub fn map_with_hierarchy(
+        &self,
+        graph: &ClusteredProblemGraph,
+        sys: &SystemHierarchy,
+        rng: &mut impl Rng,
+    ) -> Result<MultilevelResult, GraphError> {
+        let system = sys.finest();
+        if graph.num_clusters() != system.len() {
+            return Err(GraphError::SizeMismatch {
+                left: graph.num_clusters(),
+                right: system.len(),
             });
         }
-
-        let hierarchy = Hierarchy::build(graph, system, self.config.direct_threshold)?;
+        if system.len() <= self.config.direct_threshold.max(1) {
+            return self.map_direct(graph, system, rng);
+        }
+        let lower_bound = IdealSchedule::derive(graph).lower_bound();
+        let flat = Mapper::with_config(self.config.mapper.clone());
+        let hierarchy = Hierarchy::from_system_hierarchy(graph, sys, self.config.direct_threshold)?;
         let top = hierarchy.top();
         let top_result = flat.map(&top.graph, &top.system, rng)?;
         let mut assignment = top_result.assignment;
@@ -141,12 +167,14 @@ impl MultilevelMapper {
                     IdealSchedule::derive(&level.graph).lower_bound()
                 },
                 rounds: self.config.refine_rounds,
+                batch: self.config.refine_batch,
+                threads: self.config.refine_threads,
                 model: self.config.mapper.model,
             };
             let out = refine_within_groups(
                 &level.graph,
                 &level.system,
-                &coarsening.groups,
+                coarsening.groups(),
                 &assignment,
                 &config,
                 rng,
@@ -169,6 +197,29 @@ impl MultilevelMapper {
             reached_lower_bound: total_time == lower_bound,
         })
     }
+
+    /// The direct path: machines at or below the threshold are solved
+    /// by the unmodified flat pipeline.
+    fn map_direct(
+        &self,
+        graph: &ClusteredProblemGraph,
+        system: &SystemGraph,
+        rng: &mut impl Rng,
+    ) -> Result<MultilevelResult, GraphError> {
+        let lower_bound = IdealSchedule::derive(graph).lower_bound();
+        let flat = Mapper::with_config(self.config.mapper.clone());
+        let result = flat.map(graph, system, rng)?;
+        Ok(MultilevelResult {
+            reached_lower_bound: result.total_time == lower_bound,
+            assignment: result.assignment,
+            total_time: result.total_time,
+            lower_bound,
+            levels: 1,
+            top_ns: system.len(),
+            evaluations: result.refinement.iterations_used,
+            improvements: result.refinement.improvements,
+        })
+    }
 }
 
 /// Expand a coarse assignment one level down: each fine cluster tries
@@ -183,7 +234,8 @@ fn prolong(
     coarse: &Assignment,
     fine_system: &SystemGraph,
 ) -> Result<Assignment, GraphError> {
-    let m = coarsening.groups.len();
+    let groups = coarsening.groups();
+    let m = groups.len();
     let fine_n = coarsening.cluster_map.len();
     let mut members_of: Vec<Vec<ClusterId>> = vec![Vec::new(); m];
     for (a, &c) in coarsening.cluster_map.iter().enumerate() {
@@ -196,7 +248,7 @@ fn prolong(
     for (c, members) in members_of.iter().enumerate() {
         let g = coarse.sys_of(c);
         for &a in members {
-            let group = &coarsening.groups[g];
+            let group = &groups[g];
             if next_free[g] < group.len() {
                 sys_of[a] = group[next_free[g]];
                 next_free[g] += 1;
@@ -206,10 +258,10 @@ fn prolong(
         }
     }
     let mut free_procs: Vec<usize> = (0..m)
-        .flat_map(|g| coarsening.groups[g][next_free[g]..].iter().copied())
+        .flat_map(|g| groups[g][next_free[g]..].iter().copied())
         .collect();
     for (a, g) in spill {
-        let anchor = coarsening.groups[g][0];
+        let anchor = groups[g][0];
         let s = fine_system
             .distances()
             .nearest_of(anchor, free_procs.iter())
@@ -324,6 +376,23 @@ mod tests {
     }
 
     #[test]
+    fn cached_hierarchy_map_matches_fresh_map() {
+        let system = torus2d(8, 8).unwrap();
+        let graph = instance(128, 64, 17);
+        let sys = SystemHierarchy::build(&system).unwrap();
+        let mapper = MultilevelMapper::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let fresh = mapper.map(&graph, &system, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let cached = mapper.map_with_hierarchy(&graph, &sys, &mut rng).unwrap();
+        assert_eq!(fresh, cached);
+        // The cached path rejects mismatched problem sizes too.
+        let small = instance(40, 8, 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(mapper.map_with_hierarchy(&small, &sys, &mut rng).is_err());
+    }
+
+    #[test]
     fn multilevel_quality_is_close_to_flat_at_64() {
         // The acceptance bar: within 10% of the flat pipeline's total
         // at ns = 64 (checked in the bench across topologies; this is
@@ -360,6 +429,8 @@ mod tests {
         let config = MultilevelConfig {
             direct_threshold: 24,
             refine_rounds: 9,
+            refine_batch: 4,
+            refine_threads: 2,
             ..MultilevelConfig::default()
         };
         let json = serde_json::to_string(&config).unwrap();

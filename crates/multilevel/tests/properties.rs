@@ -85,7 +85,7 @@ proptest! {
             // The processor groups partition the fine machine and are
             // connected (singletons or adjacent pairs).
             let mut covered = vec![false; fine.system.len()];
-            for members in &coarsening.groups {
+            for members in coarsening.groups() {
                 for &s in members {
                     prop_assert!(!covered[s], "processor {} in two groups", s);
                     covered[s] = true;

@@ -1,0 +1,447 @@
+//! The incremental mapper: a long-lived session that keeps the previous
+//! assignment and the (cached) system-side multilevel hierarchy alive
+//! across trace events.
+//!
+//! Per event the session applies the delta to its [`DynamicWorkload`],
+//! then chooses between two paths:
+//!
+//! * **Incremental** (the common case): re-run migration-cost-aware
+//!   group-local refinement only inside the *regions* around the
+//!   touched clusters — the smallest hierarchy groups of at least
+//!   [`OnlineConfig::region_size`] processors containing the touched
+//!   clusters' hosts. Everything else keeps its placement, so the cost
+//!   per event is a handful of full evaluations instead of a V-cycle.
+//! * **Full V-cycle**: when accumulated drift (moved weight divided by
+//!   total weight since the last full map) crosses
+//!   [`OnlineConfig::staleness_threshold`], or the event has no
+//!   locality (global weight scaling), the session remaps from scratch
+//!   with [`MultilevelMapper::map_with_hierarchy`] — still reusing the
+//!   shared system-side hierarchy — and resets the drift meter.
+//!
+//! All randomness flows from the session seed in event order, so a
+//! replay of the same trace with the same seed is bit-identical.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mimd_core::{Assignment, IdealSchedule};
+use mimd_graph::error::GraphError;
+use mimd_graph::{NodeId, Time};
+use mimd_multilevel::{MultilevelConfig, MultilevelMapper, SystemHierarchy};
+use mimd_taskgraph::{ClusterId, DynamicWorkload, TraceEvent};
+
+use crate::refine::{count_moves, refine_with_migration, MigrationRefineConfig};
+use crate::replay::ReplayRecord;
+
+/// Tuning knobs of the incremental remapper.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OnlineConfig {
+    /// The V-cycle used for the initial mapping and staleness resets
+    /// (its `mapper.model` is also the incremental objective).
+    pub multilevel: MultilevelConfig,
+    /// Cost charged per migrated cluster when weighing an incremental
+    /// move against its predicted gain.
+    pub migration_penalty: Time,
+    /// Accumulated drift fraction (moved weight / total weight) that
+    /// triggers a full V-cycle instead of local refinement.
+    pub staleness_threshold: f64,
+    /// Candidate evaluations per incremental event.
+    pub local_rounds: usize,
+    /// Minimum processors per refinement region: each touched cluster's
+    /// host is widened to its smallest hierarchy group of at least this
+    /// size.
+    pub region_size: usize,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            multilevel: MultilevelConfig::default(),
+            migration_penalty: 2,
+            staleness_threshold: 0.25,
+            local_rounds: 6,
+            region_size: 8,
+        }
+    }
+}
+
+/// The incremental mapper: a factory for [`OnlineSession`]s.
+#[derive(Clone, Debug, Default)]
+pub struct IncrementalMapper {
+    config: OnlineConfig,
+}
+
+impl IncrementalMapper {
+    /// Mapper with the default configuration.
+    pub fn new() -> Self {
+        IncrementalMapper::default()
+    }
+
+    /// Mapper with a custom configuration.
+    pub fn with_config(config: OnlineConfig) -> Self {
+        IncrementalMapper { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.config
+    }
+
+    /// Start a session: map the initial workload with a full V-cycle
+    /// against the (typically cached) system hierarchy. Returns the
+    /// session plus the record of the initial mapping (index 0).
+    pub fn begin(
+        &self,
+        workload: DynamicWorkload,
+        hierarchy: Arc<SystemHierarchy>,
+        seed: u64,
+    ) -> Result<(OnlineSession, ReplayRecord), GraphError> {
+        let ns = hierarchy.finest().len();
+        if workload.num_clusters() != ns {
+            return Err(GraphError::SizeMismatch {
+                left: workload.num_clusters(),
+                right: ns,
+            });
+        }
+        let graph = workload.materialize()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = MultilevelMapper::with_config(self.config.multilevel.clone())
+            .map_with_hierarchy(&graph, &hierarchy, &mut rng)?;
+        let record = ReplayRecord {
+            index: 0,
+            kind: "init".into(),
+            action: "full".into(),
+            np: graph.num_tasks(),
+            ns,
+            lower_bound: result.lower_bound,
+            total_time: result.total_time,
+            percent_over_lower_bound: percent_over(result.total_time, result.lower_bound),
+            moves: ns, // everything is placed for the first time
+            evaluations: result.evaluations,
+            drift: 0.0,
+            error: None,
+        };
+        let session = OnlineSession {
+            config: self.config.clone(),
+            hierarchy,
+            workload,
+            assignment: result.assignment,
+            rng,
+            drift: 0.0,
+            events_applied: 0,
+            last_lower_bound: result.lower_bound,
+            last_total: result.total_time,
+        };
+        Ok((session, record))
+    }
+}
+
+/// A live remapping session: the mutable workload, the current
+/// assignment, the drift meter and the shared system hierarchy.
+pub struct OnlineSession {
+    config: OnlineConfig,
+    hierarchy: Arc<SystemHierarchy>,
+    workload: DynamicWorkload,
+    assignment: Assignment,
+    rng: StdRng,
+    /// Moved weight since the last full map, as a fraction of total
+    /// weight (summed per event).
+    drift: f64,
+    events_applied: usize,
+    last_lower_bound: Time,
+    last_total: Time,
+}
+
+impl OnlineSession {
+    /// The current cluster→processor assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// The current workload state.
+    pub fn workload(&self) -> &DynamicWorkload {
+        &self.workload
+    }
+
+    /// Accumulated drift fraction since the last full V-cycle.
+    pub fn drift(&self) -> f64 {
+        self.drift
+    }
+
+    /// Apply one trace event and remap. Never fails: an invalid event
+    /// (or an impossible instance) comes back as an `action = "error"`
+    /// record with the state unchanged.
+    pub fn apply(&mut self, event: &TraceEvent) -> ReplayRecord {
+        self.events_applied += 1;
+        let index = self.events_applied;
+        match self.try_apply(event) {
+            Ok(record) => record,
+            Err(e) => ReplayRecord {
+                index,
+                kind: event.kind().into(),
+                action: "error".into(),
+                np: self.workload.num_tasks(),
+                ns: self.hierarchy.finest().len(),
+                lower_bound: self.last_lower_bound,
+                total_time: self.last_total,
+                percent_over_lower_bound: percent_over(self.last_total, self.last_lower_bound),
+                moves: 0,
+                evaluations: 0,
+                drift: self.drift,
+                error: Some(e.to_string()),
+            },
+        }
+    }
+
+    fn try_apply(&mut self, event: &TraceEvent) -> Result<ReplayRecord, GraphError> {
+        let impact = self.workload.apply(event)?;
+        let graph = self.workload.materialize()?;
+        let total_weight = self.workload.total_weight().max(1);
+        self.drift += impact.weight_delta as f64 / total_weight as f64;
+
+        let lower_bound = IdealSchedule::derive(&graph).lower_bound();
+        let stale = impact.global || self.drift >= self.config.staleness_threshold;
+        let (action, moves, evaluations) = if stale {
+            let previous = self.assignment.clone();
+            let result = MultilevelMapper::with_config(self.config.multilevel.clone())
+                .map_with_hierarchy(&graph, &self.hierarchy, &mut self.rng)?;
+            self.assignment = result.assignment;
+            self.last_total = result.total_time;
+            self.drift = 0.0;
+            (
+                "full",
+                count_moves(&self.assignment, &previous),
+                result.evaluations,
+            )
+        } else {
+            let regions = self.regions_for(&impact.touched_clusters);
+            let config = MigrationRefineConfig {
+                rounds: self.config.local_rounds,
+                batch: self.config.multilevel.refine_batch,
+                threads: self.config.multilevel.refine_threads,
+                migration_penalty: self.config.migration_penalty,
+                model: self.config.multilevel.mapper.model,
+                lower_bound,
+            };
+            let out = refine_with_migration(
+                &graph,
+                self.hierarchy.finest(),
+                &regions,
+                &self.assignment,
+                &self.assignment,
+                &config,
+                &mut self.rng,
+            )?;
+            self.assignment = out.assignment;
+            self.last_total = out.total;
+            ("incremental", out.moves, out.rounds_used)
+        };
+        self.last_lower_bound = lower_bound;
+        Ok(ReplayRecord {
+            index: self.events_applied,
+            kind: event.kind().into(),
+            action: action.into(),
+            np: graph.num_tasks(),
+            ns: self.hierarchy.finest().len(),
+            lower_bound,
+            total_time: self.last_total,
+            percent_over_lower_bound: percent_over(self.last_total, lower_bound),
+            moves,
+            evaluations,
+            drift: self.drift,
+            error: None,
+        })
+    }
+
+    /// The refinement regions around `touched` clusters: each touched
+    /// cluster's processor widened to its smallest hierarchy group of
+    /// at least `region_size` members, deduplicated to a disjoint
+    /// family (hierarchy groups are laminar: overlapping regions nest,
+    /// and the larger one wins).
+    fn regions_for(&self, touched: &[ClusterId]) -> Vec<Vec<NodeId>> {
+        let mut candidates: Vec<Vec<NodeId>> = Vec::new();
+        for &cluster in touched {
+            let host = self.assignment.sys_of(cluster);
+            candidates.push(self.region_around(host));
+        }
+        candidates.sort_by_key(|r| std::cmp::Reverse(r.len()));
+        let ns = self.hierarchy.finest().len();
+        let mut covered = vec![false; ns];
+        let mut regions = Vec::new();
+        for region in candidates {
+            let first = region[0];
+            if covered[first] {
+                continue; // nested inside an already-kept region
+            }
+            for &s in &region {
+                covered[s] = true;
+            }
+            regions.push(region);
+        }
+        regions
+    }
+
+    /// The smallest hierarchy group containing processor `host` with at
+    /// least `region_size` members (or the coarsest available group on
+    /// stalling topologies).
+    fn region_around(&self, host: NodeId) -> Vec<NodeId> {
+        let target = self.config.region_size.max(2);
+        for level in 0..self.hierarchy.depth() {
+            let image = self.hierarchy.image_at(level);
+            let members: Vec<NodeId> = (0..image.len())
+                .filter(|&s| image[s] == image[host])
+                .collect();
+            if members.len() >= target {
+                return members;
+            }
+        }
+        // Stalled hierarchy (e.g. a star): refine the whole machine.
+        (0..self.hierarchy.finest().len()).collect()
+    }
+}
+
+fn percent_over(total: Time, lower_bound: Time) -> f64 {
+    if lower_bound == 0 {
+        0.0
+    } else {
+        100.0 * total as f64 / lower_bound as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimd_core::evaluate::evaluate_assignment;
+    use mimd_core::schedule::EvaluationModel;
+    use mimd_taskgraph::clustering::region::random_region_clustering;
+    use mimd_taskgraph::workloads::{churn_trace, ChurnRegime};
+    use mimd_taskgraph::{ClusteredProblemGraph, GeneratorConfig, LayeredDagGenerator};
+    use mimd_topology::torus2d;
+
+    fn instance(np: usize, ns: usize, seed: u64) -> ClusteredProblemGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gen = LayeredDagGenerator::new(GeneratorConfig {
+            tasks: np,
+            ..GeneratorConfig::default()
+        })
+        .unwrap();
+        let problem = gen.generate(&mut rng);
+        let clustering = random_region_clustering(&problem, ns, &mut rng).unwrap();
+        ClusteredProblemGraph::new(problem, clustering).unwrap()
+    }
+
+    fn session(seed: u64) -> (OnlineSession, ReplayRecord, ClusteredProblemGraph) {
+        let system = torus2d(8, 8).unwrap();
+        let hierarchy = Arc::new(SystemHierarchy::build(&system).unwrap());
+        let base = instance(128, 64, seed);
+        let workload = DynamicWorkload::from_clustered(&base);
+        let (session, record) = IncrementalMapper::new()
+            .begin(workload, hierarchy, seed)
+            .unwrap();
+        (session, record, base)
+    }
+
+    #[test]
+    fn begin_produces_a_full_initial_mapping() {
+        let (session, record, base) = session(1);
+        assert_eq!(record.index, 0);
+        assert_eq!(record.action, "full");
+        assert_eq!(record.ns, 64);
+        assert!(record.total_time >= record.lower_bound);
+        // The recorded total matches an independent evaluation.
+        let system = torus2d(8, 8).unwrap();
+        let eval = evaluate_assignment(
+            &base,
+            &system,
+            session.assignment(),
+            EvaluationModel::Precedence,
+        )
+        .unwrap();
+        assert_eq!(eval.total(), record.total_time);
+    }
+
+    #[test]
+    fn incremental_events_touch_few_processors_and_stay_valid() {
+        let (mut session, _, base) = session(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let trace = churn_trace(&base, 30, ChurnRegime::Mixed, &mut rng);
+        let system = torus2d(8, 8).unwrap();
+        for event in &trace {
+            let before = session.assignment().clone();
+            let record = session.apply(event);
+            assert!(record.error.is_none(), "{:?}", record.error);
+            assert!(record.total_time >= record.lower_bound);
+            if record.action == "incremental" {
+                // Incremental moves stay inside the touched regions.
+                assert!(
+                    record.moves <= 4 * session.config.region_size,
+                    "{} moves",
+                    record.moves
+                );
+                assert_eq!(record.moves, count_moves(session.assignment(), &before));
+            }
+            // The recorded total matches an independent evaluation of
+            // the current state.
+            let graph = session.workload().materialize().unwrap();
+            let eval = evaluate_assignment(
+                &graph,
+                &system,
+                session.assignment(),
+                EvaluationModel::Precedence,
+            )
+            .unwrap();
+            assert_eq!(eval.total(), record.total_time);
+        }
+    }
+
+    #[test]
+    fn global_events_force_a_full_remap_and_reset_drift() {
+        let (mut session, _, _) = session(4);
+        let record = session.apply(&TraceEvent::ScaleEdgeWeights { percent: 150 });
+        assert_eq!(record.action, "full");
+        assert_eq!(record.drift, 0.0);
+    }
+
+    #[test]
+    fn staleness_threshold_triggers_full_remaps() {
+        let system = torus2d(8, 8).unwrap();
+        let hierarchy = Arc::new(SystemHierarchy::build(&system).unwrap());
+        let base = instance(128, 64, 5);
+        let config = OnlineConfig {
+            staleness_threshold: 0.0, // every event is already stale
+            ..OnlineConfig::default()
+        };
+        let (mut session, _) = IncrementalMapper::with_config(config)
+            .begin(DynamicWorkload::from_clustered(&base), hierarchy, 5)
+            .unwrap();
+        let record = session.apply(&TraceEvent::SetTaskSize { task: 0, size: 9 });
+        assert_eq!(record.action, "full");
+    }
+
+    #[test]
+    fn invalid_events_report_errors_without_corrupting_state() {
+        let (mut session, init, _) = session(6);
+        let before = session.assignment().clone();
+        let record = session.apply(&TraceEvent::RemoveTask { task: 100_000 });
+        assert_eq!(record.action, "error");
+        assert!(record.error.is_some());
+        assert_eq!(record.total_time, init.total_time);
+        assert_eq!(session.assignment(), &before);
+        // The session keeps going after an error.
+        let record = session.apply(&TraceEvent::SetTaskSize { task: 0, size: 4 });
+        assert!(record.error.is_none());
+        assert_eq!(record.index, 2);
+    }
+
+    #[test]
+    fn mismatched_machine_is_rejected_at_begin() {
+        let system = torus2d(4, 4).unwrap();
+        let hierarchy = Arc::new(SystemHierarchy::build(&system).unwrap());
+        let base = instance(128, 64, 7);
+        assert!(IncrementalMapper::new()
+            .begin(DynamicWorkload::from_clustered(&base), hierarchy, 7)
+            .is_err());
+    }
+}

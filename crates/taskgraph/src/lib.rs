@@ -21,7 +21,11 @@
 //!   (Figs 7–12, 13–17).
 //! * [`workloads`] — structured DAG families from the paper's domain:
 //!   Gaussian elimination, stencils, FFT butterflies, divide & conquer,
-//!   pipelines.
+//!   pipelines — plus the synthetic churn-trace generator for dynamic
+//!   workloads.
+//! * [`trace`] — the dynamic-workload delta model: [`TraceEvent`]s
+//!   mutating a [`DynamicWorkload`], the mutable counterpart of
+//!   [`ClusteredProblemGraph`] that `mimd-online` remaps incrementally.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,6 +36,7 @@ pub mod clustering;
 pub mod generator;
 pub mod paper;
 pub mod problem;
+pub mod trace;
 pub mod workloads;
 
 pub use abstracted::AbstractGraph;
@@ -39,6 +44,7 @@ pub use clustered::ClusteredProblemGraph;
 pub use clustering::Clustering;
 pub use generator::{GeneratorConfig, LayeredDagGenerator};
 pub use problem::ProblemGraph;
+pub use trace::{DynamicWorkload, EventImpact, TraceEvent, WorkloadSnapshot};
 
 /// Identifier of a cluster / abstract node (`0..na`).
 pub type ClusterId = usize;

@@ -1,0 +1,823 @@
+//! The dynamic-workload delta model: [`TraceEvent`]s mutating a
+//! [`DynamicWorkload`], the mutable counterpart of a
+//! [`ClusteredProblemGraph`].
+//!
+//! The paper maps a static problem graph once; online workloads change
+//! — tasks arrive and finish, communication weights drift. A trace is a
+//! sequence of small deltas against a running clustered problem graph.
+//! [`DynamicWorkload`] keeps that state mutable (tasks and edges keyed
+//! by *stable* external ids, so removals never renumber survivors),
+//! validates every delta (sizes ≥ 1, clusters never emptied — the
+//! paper's `na = ns` invariant — and the dependency graph stays
+//! acyclic), and [`DynamicWorkload::materialize`]s back into the
+//! immutable [`ClusteredProblemGraph`] the mapping algorithms consume.
+//! Each applied event reports an [`EventImpact`] (touched clusters and
+//! moved weight) that the incremental remapper in `mimd-online` uses to
+//! scope refinement and meter staleness.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use mimd_graph::digraph::WeightedDigraph;
+use mimd_graph::error::GraphError;
+use mimd_graph::{Time, Weight};
+
+use crate::clustering::Clustering;
+use crate::problem::ProblemGraph;
+use crate::{ClusterId, ClusteredProblemGraph, TaskId};
+
+/// One delta of a dynamic-workload trace (one JSONL line after the
+/// header). Task ids are stable external identifiers: they survive
+/// removals and are never recycled by the generator.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum TraceEvent {
+    /// A task arrives in `cluster` with execution time `size`.
+    AddTask {
+        /// Fresh external task id (must be unused).
+        task: TaskId,
+        /// Execution time (≥ 1).
+        size: Time,
+        /// Cluster receiving the task (`0..na`).
+        cluster: ClusterId,
+    },
+    /// A task finishes and leaves, taking its incident edges with it.
+    /// Rejected if it would empty its cluster (`na = ns` must hold).
+    RemoveTask {
+        /// The departing task.
+        task: TaskId,
+    },
+    /// A new data dependency `from -> to` appears. Rejected if it would
+    /// create a cycle.
+    AddEdge {
+        /// Producer task.
+        from: TaskId,
+        /// Consumer task.
+        to: TaskId,
+        /// Communication weight (≥ 1).
+        weight: Weight,
+    },
+    /// A data dependency disappears.
+    RemoveEdge {
+        /// Producer task.
+        from: TaskId,
+        /// Consumer task.
+        to: TaskId,
+    },
+    /// A task's execution time changes.
+    SetTaskSize {
+        /// The task.
+        task: TaskId,
+        /// New execution time (≥ 1).
+        size: Time,
+    },
+    /// An edge's communication weight changes.
+    SetEdgeWeight {
+        /// Producer task.
+        from: TaskId,
+        /// Consumer task.
+        to: TaskId,
+        /// New weight (≥ 1).
+        weight: Weight,
+    },
+    /// Global drift: every edge weight is rescaled to
+    /// `max(1, w × percent / 100)`.
+    ScaleEdgeWeights {
+        /// Scale factor in percent (≥ 1; 100 is a no-op).
+        percent: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Short machine-readable label (the `kind` tag of the wire format).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::AddTask { .. } => "add_task",
+            TraceEvent::RemoveTask { .. } => "remove_task",
+            TraceEvent::AddEdge { .. } => "add_edge",
+            TraceEvent::RemoveEdge { .. } => "remove_edge",
+            TraceEvent::SetTaskSize { .. } => "set_task_size",
+            TraceEvent::SetEdgeWeight { .. } => "set_edge_weight",
+            TraceEvent::ScaleEdgeWeights { .. } => "scale_edge_weights",
+        }
+    }
+}
+
+/// What one applied event disturbed — the locality information the
+/// incremental remapper keys on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventImpact {
+    /// Clusters whose content changed (sorted, deduplicated). Empty for
+    /// a no-op event.
+    pub touched_clusters: Vec<ClusterId>,
+    /// Total task/edge weight moved by the event (sum of absolute
+    /// changes) — the numerator of the remapper's drift fraction.
+    pub weight_delta: u64,
+    /// `true` for events without locality (global weight scaling):
+    /// every cluster is affected.
+    pub global: bool,
+}
+
+/// Per-task mutable state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct TaskState {
+    size: Time,
+    cluster: ClusterId,
+}
+
+/// One task of a [`WorkloadSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskInit {
+    /// Stable external task id.
+    pub id: TaskId,
+    /// Execution time.
+    pub size: Time,
+    /// Owning cluster.
+    pub cluster: ClusterId,
+}
+
+/// One edge of a [`WorkloadSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeInit {
+    /// Producer task id.
+    pub from: TaskId,
+    /// Consumer task id.
+    pub to: TaskId,
+    /// Communication weight.
+    pub weight: Weight,
+}
+
+/// The serializable image of a [`DynamicWorkload`] — the header of a
+/// trace file (the initial state the events mutate).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadSnapshot {
+    /// Number of clusters `na` (fixed for the whole trace; `na = ns`).
+    pub num_clusters: usize,
+    /// All tasks, ascending by id.
+    pub tasks: Vec<TaskInit>,
+    /// All edges, ascending by `(from, to)`.
+    pub edges: Vec<EdgeInit>,
+}
+
+/// A mutable clustered problem graph under a fixed cluster count.
+///
+/// Tasks and edges are keyed by stable external ids in ordered maps, so
+/// a state reached delta-by-delta is structurally identical to one
+/// rebuilt from the final snapshot — the reproducibility property the
+/// trace format relies on.
+#[derive(Clone, Debug)]
+pub struct DynamicWorkload {
+    tasks: BTreeMap<TaskId, TaskState>,
+    edges: BTreeMap<(TaskId, TaskId), Weight>,
+    /// `cluster_sizes[c]` = number of tasks currently in cluster `c`.
+    cluster_sizes: Vec<usize>,
+    /// High-water mark for [`DynamicWorkload::next_task_id`]: one past
+    /// the largest id ever seen, so removed ids are never recycled even
+    /// after the current maximum departs. Generator bookkeeping only —
+    /// excluded from equality (a snapshot does not record history).
+    next_id: TaskId,
+}
+
+impl PartialEq for DynamicWorkload {
+    fn eq(&self, other: &Self) -> bool {
+        self.tasks == other.tasks
+            && self.edges == other.edges
+            && self.cluster_sizes == other.cluster_sizes
+    }
+}
+
+impl Eq for DynamicWorkload {}
+
+impl DynamicWorkload {
+    /// Start from an existing clustered problem graph; external ids are
+    /// the graph's task indices `0..np`.
+    pub fn from_clustered(graph: &ClusteredProblemGraph) -> DynamicWorkload {
+        let mut tasks = BTreeMap::new();
+        for t in 0..graph.num_tasks() {
+            tasks.insert(
+                t,
+                TaskState {
+                    size: graph.problem().size(t),
+                    cluster: graph.cluster_of(t),
+                },
+            );
+        }
+        let mut edges = BTreeMap::new();
+        for (u, v, w) in graph.problem().graph().edges() {
+            edges.insert((u, v), w);
+        }
+        let mut cluster_sizes = vec![0; graph.num_clusters()];
+        for state in tasks.values() {
+            cluster_sizes[state.cluster] += 1;
+        }
+        DynamicWorkload {
+            next_id: graph.num_tasks(),
+            tasks,
+            edges,
+            cluster_sizes,
+        }
+    }
+
+    /// Rebuild from a snapshot (the trace-file header). Validates the
+    /// same invariants `apply` maintains.
+    pub fn from_snapshot(snapshot: &WorkloadSnapshot) -> Result<DynamicWorkload, GraphError> {
+        if snapshot.num_clusters == 0 {
+            return Err(GraphError::InvalidParameter(
+                "workload needs >= 1 cluster".into(),
+            ));
+        }
+        let mut state = DynamicWorkload {
+            tasks: BTreeMap::new(),
+            edges: BTreeMap::new(),
+            cluster_sizes: vec![0; snapshot.num_clusters],
+            next_id: 0,
+        };
+        for task in &snapshot.tasks {
+            if task.size == 0 {
+                return Err(GraphError::InvalidParameter(format!(
+                    "task {} has zero execution time",
+                    task.id
+                )));
+            }
+            if task.cluster >= snapshot.num_clusters {
+                return Err(GraphError::NodeOutOfRange {
+                    node: task.cluster,
+                    len: snapshot.num_clusters,
+                });
+            }
+            if state
+                .tasks
+                .insert(
+                    task.id,
+                    TaskState {
+                        size: task.size,
+                        cluster: task.cluster,
+                    },
+                )
+                .is_some()
+            {
+                return Err(GraphError::InvalidParameter(format!(
+                    "task {} appears twice in the snapshot",
+                    task.id
+                )));
+            }
+            state.cluster_sizes[task.cluster] += 1;
+            state.next_id = state.next_id.max(task.id + 1);
+        }
+        if let Some(empty) = state.cluster_sizes.iter().position(|&n| n == 0) {
+            return Err(GraphError::InvalidParameter(format!(
+                "cluster {empty} is empty; every cluster must own >= 1 task"
+            )));
+        }
+        for edge in &snapshot.edges {
+            state.check_new_edge(edge.from, edge.to, edge.weight)?;
+            state.edges.insert((edge.from, edge.to), edge.weight);
+        }
+        Ok(state)
+    }
+
+    /// The serializable image of the current state.
+    pub fn snapshot(&self) -> WorkloadSnapshot {
+        WorkloadSnapshot {
+            num_clusters: self.cluster_sizes.len(),
+            tasks: self
+                .tasks
+                .iter()
+                .map(|(&id, state)| TaskInit {
+                    id,
+                    size: state.size,
+                    cluster: state.cluster,
+                })
+                .collect(),
+            edges: self
+                .edges
+                .iter()
+                .map(|(&(from, to), &weight)| EdgeInit { from, to, weight })
+                .collect(),
+        }
+    }
+
+    /// Number of live tasks `np`.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of clusters `na` (constant for the workload's lifetime).
+    pub fn num_clusters(&self) -> usize {
+        self.cluster_sizes.len()
+    }
+
+    /// Number of live edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` iff external task id `t` is live.
+    pub fn has_task(&self, t: TaskId) -> bool {
+        self.tasks.contains_key(&t)
+    }
+
+    /// Cluster owning live task `t`.
+    pub fn cluster_of(&self, t: TaskId) -> Option<ClusterId> {
+        self.tasks.get(&t).map(|s| s.cluster)
+    }
+
+    /// A fresh external task id: one past the largest id ever seen
+    /// (monotone high-water mark, so departed ids are never reissued).
+    pub fn next_task_id(&self) -> TaskId {
+        self.next_id
+    }
+
+    /// Live task ids, ascending.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.tasks.keys().copied()
+    }
+
+    /// Live edges `(from, to, weight)`, ascending by key.
+    pub fn edge_list(&self) -> impl Iterator<Item = (TaskId, TaskId, Weight)> + '_ {
+        self.edges.iter().map(|(&(u, v), &w)| (u, v, w))
+    }
+
+    /// Number of tasks currently in cluster `c`.
+    pub fn cluster_size(&self, c: ClusterId) -> usize {
+        self.cluster_sizes[c]
+    }
+
+    /// Total task weight plus total edge weight — the denominator of
+    /// the remapper's drift fraction.
+    pub fn total_weight(&self) -> u64 {
+        let tasks: u64 = self.tasks.values().map(|s| s.size).sum();
+        let edges: u64 = self.edges.values().sum();
+        tasks + edges
+    }
+
+    /// Apply one event, returning its impact. On error the state is
+    /// unchanged.
+    pub fn apply(&mut self, event: &TraceEvent) -> Result<EventImpact, GraphError> {
+        match *event {
+            TraceEvent::AddTask {
+                task,
+                size,
+                cluster,
+            } => {
+                if self.tasks.contains_key(&task) {
+                    return Err(GraphError::InvalidParameter(format!(
+                        "task {task} already exists"
+                    )));
+                }
+                if size == 0 {
+                    return Err(GraphError::InvalidParameter(format!(
+                        "task {task} has zero execution time"
+                    )));
+                }
+                if cluster >= self.num_clusters() {
+                    return Err(GraphError::NodeOutOfRange {
+                        node: cluster,
+                        len: self.num_clusters(),
+                    });
+                }
+                self.tasks.insert(task, TaskState { size, cluster });
+                self.cluster_sizes[cluster] += 1;
+                self.next_id = self.next_id.max(task + 1);
+                Ok(EventImpact {
+                    touched_clusters: vec![cluster],
+                    weight_delta: size,
+                    global: false,
+                })
+            }
+            TraceEvent::RemoveTask { task } => {
+                let state = self.tasks.get(&task).ok_or_else(|| {
+                    GraphError::InvalidParameter(format!("task {task} does not exist"))
+                })?;
+                let cluster = state.cluster;
+                if self.cluster_sizes[cluster] <= 1 {
+                    return Err(GraphError::InvalidParameter(format!(
+                        "removing task {task} would empty cluster {cluster} (na = ns must hold)"
+                    )));
+                }
+                let mut delta = state.size;
+                let mut touched = vec![cluster];
+                let incident: Vec<(TaskId, TaskId)> = self
+                    .edges
+                    .keys()
+                    .filter(|&&(u, v)| u == task || v == task)
+                    .copied()
+                    .collect();
+                for key in incident {
+                    let w = self.edges.remove(&key).expect("key just listed");
+                    delta += w;
+                    let partner = if key.0 == task { key.1 } else { key.0 };
+                    touched.push(self.tasks[&partner].cluster);
+                }
+                self.tasks.remove(&task);
+                self.cluster_sizes[cluster] -= 1;
+                touched.sort_unstable();
+                touched.dedup();
+                Ok(EventImpact {
+                    touched_clusters: touched,
+                    weight_delta: delta,
+                    global: false,
+                })
+            }
+            TraceEvent::AddEdge { from, to, weight } => {
+                self.check_new_edge(from, to, weight)?;
+                self.edges.insert((from, to), weight);
+                Ok(EventImpact {
+                    touched_clusters: self.clusters_of_pair(from, to),
+                    weight_delta: weight,
+                    global: false,
+                })
+            }
+            TraceEvent::RemoveEdge { from, to } => {
+                let w = self.edges.remove(&(from, to)).ok_or_else(|| {
+                    GraphError::InvalidParameter(format!("edge {from} -> {to} does not exist"))
+                })?;
+                Ok(EventImpact {
+                    touched_clusters: self.clusters_of_pair(from, to),
+                    weight_delta: w,
+                    global: false,
+                })
+            }
+            TraceEvent::SetTaskSize { task, size } => {
+                if size == 0 {
+                    return Err(GraphError::InvalidParameter(format!(
+                        "task {task} cannot shrink to zero execution time"
+                    )));
+                }
+                let state = self.tasks.get_mut(&task).ok_or_else(|| {
+                    GraphError::InvalidParameter(format!("task {task} does not exist"))
+                })?;
+                let delta = state.size.abs_diff(size);
+                state.size = size;
+                Ok(EventImpact {
+                    touched_clusters: vec![state.cluster],
+                    weight_delta: delta,
+                    global: false,
+                })
+            }
+            TraceEvent::SetEdgeWeight { from, to, weight } => {
+                if weight == 0 {
+                    return Err(GraphError::InvalidParameter(format!(
+                        "edge {from} -> {to} cannot have zero weight"
+                    )));
+                }
+                let slot = self.edges.get_mut(&(from, to)).ok_or_else(|| {
+                    GraphError::InvalidParameter(format!("edge {from} -> {to} does not exist"))
+                })?;
+                let delta = slot.abs_diff(weight);
+                *slot = weight;
+                Ok(EventImpact {
+                    touched_clusters: self.clusters_of_pair(from, to),
+                    weight_delta: delta,
+                    global: false,
+                })
+            }
+            TraceEvent::ScaleEdgeWeights { percent } => {
+                if percent == 0 {
+                    return Err(GraphError::InvalidParameter(
+                        "scale percent must be >= 1".into(),
+                    ));
+                }
+                let mut delta = 0u64;
+                for w in self.edges.values_mut() {
+                    // Widen before multiplying: traces are user input,
+                    // and a near-u64::MAX weight must scale saturating,
+                    // not wrapping.
+                    let scaled = (u128::from(*w) * u128::from(percent) / 100)
+                        .min(u128::from(u64::MAX)) as u64;
+                    let scaled = scaled.max(1);
+                    delta += w.abs_diff(scaled);
+                    *w = scaled;
+                }
+                Ok(EventImpact {
+                    touched_clusters: (0..self.num_clusters()).collect(),
+                    weight_delta: delta,
+                    global: true,
+                })
+            }
+        }
+    }
+
+    /// Build the immutable [`ClusteredProblemGraph`] for the current
+    /// state: tasks densely renumbered in ascending external-id order.
+    pub fn materialize(&self) -> Result<ClusteredProblemGraph, GraphError> {
+        let index: BTreeMap<TaskId, usize> = self
+            .tasks
+            .keys()
+            .enumerate()
+            .map(|(dense, &id)| (id, dense))
+            .collect();
+        let mut graph = WeightedDigraph::new(self.tasks.len());
+        for (&(u, v), &w) in &self.edges {
+            graph.add_edge(index[&u], index[&v], w)?;
+        }
+        let sizes: Vec<Time> = self.tasks.values().map(|s| s.size).collect();
+        let problem = ProblemGraph::new(graph, sizes)?;
+        let clustering = Clustering::new(self.tasks.values().map(|s| s.cluster).collect())?;
+        ClusteredProblemGraph::new(problem, clustering)
+    }
+
+    /// The clusters of an edge's two endpoints (sorted, deduplicated).
+    fn clusters_of_pair(&self, from: TaskId, to: TaskId) -> Vec<ClusterId> {
+        let mut touched = vec![self.tasks[&from].cluster, self.tasks[&to].cluster];
+        touched.sort_unstable();
+        touched.dedup();
+        touched
+    }
+
+    /// Validate an edge about to be inserted: live endpoints, non-zero
+    /// weight, not a duplicate, not a self-loop, and — the expensive
+    /// part — no cycle (`to` must not already reach `from`).
+    fn check_new_edge(&self, from: TaskId, to: TaskId, weight: Weight) -> Result<(), GraphError> {
+        if from == to {
+            return Err(GraphError::InvalidParameter(format!(
+                "self-loop on task {from}"
+            )));
+        }
+        if weight == 0 {
+            return Err(GraphError::InvalidParameter(format!(
+                "edge {from} -> {to} needs weight >= 1"
+            )));
+        }
+        for t in [from, to] {
+            if !self.tasks.contains_key(&t) {
+                return Err(GraphError::InvalidParameter(format!(
+                    "task {t} does not exist"
+                )));
+            }
+        }
+        if self.edges.contains_key(&(from, to)) {
+            return Err(GraphError::InvalidParameter(format!(
+                "edge {from} -> {to} already exists"
+            )));
+        }
+        // DFS from `to` along existing edges; reaching `from` means the
+        // new edge closes a cycle.
+        let mut successors: BTreeMap<TaskId, Vec<TaskId>> = BTreeMap::new();
+        for &(u, v) in self.edges.keys() {
+            successors.entry(u).or_default().push(v);
+        }
+        let mut stack = vec![to];
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(t) = stack.pop() {
+            if t == from {
+                return Err(GraphError::CycleDetected);
+            }
+            if !seen.insert(t) {
+                continue;
+            }
+            if let Some(next) = successors.get(&t) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::Clustering;
+
+    /// 4 tasks in 2 clusters: 0 -> 1 (w5), 0 -> 2 (w2), 1 -> 3 (w1),
+    /// 2 -> 3 (w7); clusters {0,1} and {2,3}.
+    fn base() -> ClusteredProblemGraph {
+        let p = ProblemGraph::from_paper_edges(
+            &[2, 3, 1, 4],
+            &[(1, 2, 5), (1, 3, 2), (2, 4, 1), (3, 4, 7)],
+        )
+        .unwrap();
+        let c = Clustering::new(vec![0, 0, 1, 1]).unwrap();
+        ClusteredProblemGraph::new(p, c).unwrap()
+    }
+
+    #[test]
+    fn from_clustered_roundtrips_through_materialize() {
+        let graph = base();
+        let state = DynamicWorkload::from_clustered(&graph);
+        assert_eq!(state.num_tasks(), 4);
+        assert_eq!(state.num_clusters(), 2);
+        assert_eq!(state.num_edges(), 4);
+        assert_eq!(state.total_weight(), 2 + 3 + 1 + 4 + 5 + 2 + 1 + 7);
+        assert_eq!(state.next_task_id(), 4);
+        let back = state.materialize().unwrap();
+        assert_eq!(back, graph);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_serde_and_rebuild() {
+        let state = DynamicWorkload::from_clustered(&base());
+        let snapshot = state.snapshot();
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let parsed: WorkloadSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, snapshot);
+        let rebuilt = DynamicWorkload::from_snapshot(&parsed).unwrap();
+        assert_eq!(rebuilt, state);
+    }
+
+    #[test]
+    fn add_and_remove_tasks_track_clusters_and_edges() {
+        let mut state = DynamicWorkload::from_clustered(&base());
+        let impact = state
+            .apply(&TraceEvent::AddTask {
+                task: 4,
+                size: 6,
+                cluster: 1,
+            })
+            .unwrap();
+        assert_eq!(impact.touched_clusters, vec![1]);
+        assert_eq!(impact.weight_delta, 6);
+        state
+            .apply(&TraceEvent::AddEdge {
+                from: 3,
+                to: 4,
+                weight: 9,
+            })
+            .unwrap();
+        assert_eq!(state.num_tasks(), 5);
+        assert_eq!(state.num_edges(), 5);
+
+        // Removing task 3 takes its three incident edges along and
+        // touches both endpoint clusters.
+        let impact = state.apply(&TraceEvent::RemoveTask { task: 3 }).unwrap();
+        assert_eq!(impact.touched_clusters, vec![0, 1]);
+        assert_eq!(impact.weight_delta, 4 + 1 + 7 + 9);
+        assert_eq!(state.num_edges(), 2);
+        let graph = state.materialize().unwrap();
+        assert_eq!(graph.num_tasks(), 4);
+        assert_eq!(graph.num_clusters(), 2);
+    }
+
+    #[test]
+    fn weight_changes_report_absolute_deltas() {
+        let mut state = DynamicWorkload::from_clustered(&base());
+        let impact = state
+            .apply(&TraceEvent::SetTaskSize { task: 1, size: 8 })
+            .unwrap();
+        assert_eq!(impact.weight_delta, 5);
+        let impact = state
+            .apply(&TraceEvent::SetEdgeWeight {
+                from: 0,
+                to: 1,
+                weight: 2,
+            })
+            .unwrap();
+        assert_eq!(impact.weight_delta, 3);
+        assert_eq!(impact.touched_clusters, vec![0]);
+        let impact = state
+            .apply(&TraceEvent::ScaleEdgeWeights { percent: 200 })
+            .unwrap();
+        assert!(impact.global);
+        assert_eq!(impact.touched_clusters, vec![0, 1]);
+        // Edges were 2, 2, 1, 7 -> 4, 4, 2, 14: delta 12.
+        assert_eq!(impact.weight_delta, 12);
+        // Scaling far down clamps at 1 instead of dropping to 0.
+        state
+            .apply(&TraceEvent::ScaleEdgeWeights { percent: 1 })
+            .unwrap();
+        let graph = state.materialize().unwrap();
+        assert!(graph.problem().graph().edges().all(|(_, _, w)| w == 1));
+    }
+
+    #[test]
+    fn invalid_events_leave_the_state_unchanged() {
+        let mut state = DynamicWorkload::from_clustered(&base());
+        let before = state.clone();
+        for event in [
+            TraceEvent::AddTask {
+                task: 0,
+                size: 1,
+                cluster: 0,
+            }, // duplicate id
+            TraceEvent::AddTask {
+                task: 9,
+                size: 0,
+                cluster: 0,
+            }, // zero size
+            TraceEvent::AddTask {
+                task: 9,
+                size: 1,
+                cluster: 5,
+            }, // bad cluster
+            TraceEvent::RemoveTask { task: 42 },
+            TraceEvent::AddEdge {
+                from: 3,
+                to: 0,
+                weight: 1,
+            }, // cycle
+            TraceEvent::AddEdge {
+                from: 0,
+                to: 1,
+                weight: 1,
+            }, // duplicate
+            TraceEvent::AddEdge {
+                from: 2,
+                to: 2,
+                weight: 1,
+            }, // self-loop
+            TraceEvent::RemoveEdge { from: 1, to: 0 },
+            TraceEvent::SetTaskSize { task: 7, size: 1 },
+            TraceEvent::SetEdgeWeight {
+                from: 1,
+                to: 0,
+                weight: 2,
+            },
+            TraceEvent::ScaleEdgeWeights { percent: 0 },
+        ] {
+            assert!(state.apply(&event).is_err(), "{event:?} should fail");
+            assert_eq!(state, before, "{event:?} mutated the state");
+        }
+
+        // Emptying a cluster is rejected: shrink cluster 0 to one task
+        // first.
+        state.apply(&TraceEvent::RemoveTask { task: 1 }).unwrap();
+        assert!(state.apply(&TraceEvent::RemoveTask { task: 0 }).is_err());
+    }
+
+    #[test]
+    fn departed_task_ids_are_never_reissued() {
+        let mut state = DynamicWorkload::from_clustered(&base());
+        assert_eq!(state.next_task_id(), 4);
+        state
+            .apply(&TraceEvent::AddTask {
+                task: 4,
+                size: 2,
+                cluster: 0,
+            })
+            .unwrap();
+        // Remove the current maximum: the high-water mark must not drop.
+        state.apply(&TraceEvent::RemoveTask { task: 4 }).unwrap();
+        assert_eq!(state.next_task_id(), 5);
+        // A sparse id raises the mark past itself.
+        state
+            .apply(&TraceEvent::AddTask {
+                task: 17,
+                size: 2,
+                cluster: 0,
+            })
+            .unwrap();
+        assert_eq!(state.next_task_id(), 18);
+        // Equality ignores the mark (a snapshot records no history)...
+        let rebuilt = DynamicWorkload::from_snapshot(&state.snapshot()).unwrap();
+        assert_eq!(rebuilt, state);
+        // ...but a rebuilt state still never reissues a live-max id.
+        assert_eq!(rebuilt.next_task_id(), 18);
+    }
+
+    #[test]
+    fn scaling_huge_weights_saturates_instead_of_wrapping() {
+        let mut state = DynamicWorkload::from_clustered(&base());
+        state
+            .apply(&TraceEvent::SetEdgeWeight {
+                from: 0,
+                to: 1,
+                weight: u64::MAX - 1,
+            })
+            .unwrap();
+        state
+            .apply(&TraceEvent::ScaleEdgeWeights { percent: 300 })
+            .unwrap();
+        let snapshot = state.snapshot();
+        let scaled = snapshot
+            .edges
+            .iter()
+            .find(|e| e.from == 0 && e.to == 1)
+            .unwrap()
+            .weight;
+        assert_eq!(scaled, u64::MAX, "saturated, not wrapped");
+    }
+
+    #[test]
+    fn events_serde_roundtrip_as_tagged_jsonl() {
+        let events = vec![
+            TraceEvent::AddTask {
+                task: 12,
+                size: 3,
+                cluster: 2,
+            },
+            TraceEvent::RemoveTask { task: 4 },
+            TraceEvent::AddEdge {
+                from: 1,
+                to: 12,
+                weight: 6,
+            },
+            TraceEvent::RemoveEdge { from: 1, to: 2 },
+            TraceEvent::SetTaskSize { task: 3, size: 9 },
+            TraceEvent::SetEdgeWeight {
+                from: 0,
+                to: 5,
+                weight: 2,
+            },
+            TraceEvent::ScaleEdgeWeights { percent: 110 },
+        ];
+        for event in events {
+            let line = serde_json::to_string(&event).unwrap();
+            assert!(line.contains("\"kind\""), "{line}");
+            assert!(!line.contains('\n'));
+            let back: TraceEvent = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, event);
+            assert!(line.contains(event.kind()), "{line}");
+        }
+    }
+}

@@ -9,11 +9,15 @@
 //! examples and ablations can exercise the mapper on *recognizable*
 //! workloads instead of only random DAGs.
 
+use rand::Rng;
+
 use mimd_graph::digraph::WeightedDigraph;
 use mimd_graph::error::GraphError;
 use mimd_graph::{Time, Weight};
 
 use crate::problem::ProblemGraph;
+use crate::trace::{DynamicWorkload, TraceEvent};
+use crate::{ClusteredProblemGraph, TaskId};
 
 /// Gaussian elimination on an `n × n` matrix (column-oriented, as in
 /// Cosnard et al. \[11\]): task `(k)` is the pivot step on column `k`,
@@ -226,6 +230,147 @@ pub fn pipeline(
     ProblemGraph::new(g, vec![task_time; stages * tasks])
 }
 
+/// Which kind of churn a synthetic trace exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnRegime {
+    /// Tasks arrive (wired to existing producers) and finish — the
+    /// job-stream shape of a resource manager.
+    Arrivals,
+    /// Structure is stable but communication/computation weights drift
+    /// (including occasional global rescaling).
+    Drift,
+    /// A 50/50 blend of the two.
+    Mixed,
+}
+
+impl ChurnRegime {
+    /// Parse a CLI name: `arrivals`, `drift` or `mixed`.
+    pub fn parse(s: &str) -> Result<ChurnRegime, String> {
+        match s {
+            "arrivals" | "tasks" => Ok(ChurnRegime::Arrivals),
+            "drift" | "weights" => Ok(ChurnRegime::Drift),
+            "mixed" => Ok(ChurnRegime::Mixed),
+            other => Err(format!(
+                "unknown churn regime '{other}' (arrivals|drift|mixed)"
+            )),
+        }
+    }
+}
+
+/// Generate a synthetic churn trace of `events` valid deltas against
+/// `initial`. The generator simulates the trace on a private
+/// [`DynamicWorkload`], so every emitted event applies cleanly in order
+/// (no emptied clusters, no cycles, no dangling references); proposals
+/// the simulation rejects are simply re-drawn. Deterministic for a
+/// fixed `rng` state.
+pub fn churn_trace(
+    initial: &ClusteredProblemGraph,
+    events: usize,
+    regime: ChurnRegime,
+    rng: &mut impl Rng,
+) -> Vec<TraceEvent> {
+    let mut state = DynamicWorkload::from_clustered(initial);
+    let mut out = Vec::with_capacity(events);
+    while out.len() < events {
+        let drift_turn = match regime {
+            ChurnRegime::Arrivals => false,
+            ChurnRegime::Drift => true,
+            ChurnRegime::Mixed => rng.gen_range(0..2) == 0,
+        };
+        let candidate = if drift_turn {
+            propose_drift(&state, rng)
+        } else {
+            propose_arrival(&state, rng)
+        };
+        if state.apply(&candidate).is_ok() {
+            out.push(candidate);
+        }
+    }
+    out
+}
+
+/// Propose one arrivals-regime event: a task arrival, a wiring edge
+/// into a recent arrival, or a departure.
+fn propose_arrival(state: &DynamicWorkload, rng: &mut impl Rng) -> TraceEvent {
+    let tasks: Vec<TaskId> = state.task_ids().collect();
+    let roll = rng.gen_range(0..100);
+    if roll < 45 || state.num_tasks() <= state.num_clusters() + 1 {
+        return TraceEvent::AddTask {
+            task: state.next_task_id(),
+            size: rng.gen_range(3..=24),
+            cluster: rng.gen_range(0..state.num_clusters()),
+        };
+    }
+    if roll < 75 {
+        // Wire a dependency between two live tasks, oriented old -> new
+        // (the common case for fresh arrivals; the simulation rejects
+        // the rare proposal that would close a cycle).
+        let a = tasks[rng.gen_range(0..tasks.len())];
+        let b = tasks[rng.gen_range(0..tasks.len())];
+        let (from, to) = if a < b { (a, b) } else { (b, a) };
+        return TraceEvent::AddEdge {
+            from,
+            to,
+            weight: rng.gen_range(2..=16),
+        };
+    }
+    // Departure of a task whose cluster keeps at least one member.
+    let removable: Vec<TaskId> = tasks
+        .iter()
+        .copied()
+        .filter(|&t| state.cluster_size(state.cluster_of(t).expect("live task")) >= 2)
+        .collect();
+    match removable.is_empty() {
+        true => TraceEvent::AddTask {
+            task: state.next_task_id(),
+            size: rng.gen_range(3..=24),
+            cluster: rng.gen_range(0..state.num_clusters()),
+        },
+        false => TraceEvent::RemoveTask {
+            task: removable[rng.gen_range(0..removable.len())],
+        },
+    }
+}
+
+/// Propose one drift-regime event: a weight change, an edge flip, or a
+/// rare global rescale.
+fn propose_drift(state: &DynamicWorkload, rng: &mut impl Rng) -> TraceEvent {
+    let tasks: Vec<TaskId> = state.task_ids().collect();
+    let edges: Vec<(TaskId, TaskId, Weight)> = state.edge_list().collect();
+    let roll = rng.gen_range(0..100);
+    if roll < 40 && !edges.is_empty() {
+        let (from, to, _) = edges[rng.gen_range(0..edges.len())];
+        return TraceEvent::SetEdgeWeight {
+            from,
+            to,
+            weight: rng.gen_range(1..=32),
+        };
+    }
+    if roll < 70 {
+        return TraceEvent::SetTaskSize {
+            task: tasks[rng.gen_range(0..tasks.len())],
+            size: rng.gen_range(1..=24),
+        };
+    }
+    if roll < 82 && edges.len() > 4 {
+        let (from, to, _) = edges[rng.gen_range(0..edges.len())];
+        return TraceEvent::RemoveEdge { from, to };
+    }
+    if roll < 95 {
+        let a = tasks[rng.gen_range(0..tasks.len())];
+        let b = tasks[rng.gen_range(0..tasks.len())];
+        let (from, to) = if a < b { (a, b) } else { (b, a) };
+        return TraceEvent::AddEdge {
+            from,
+            to,
+            weight: rng.gen_range(2..=16),
+        };
+    }
+    TraceEvent::ScaleEdgeWeights {
+        percent: rng.gen_range(85..=120),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,5 +464,72 @@ mod tests {
             assert!(p.sizes().iter().all(|&s| s > 0));
             assert!(p.graph().edges().all(|(_, _, w)| w > 0));
         }
+    }
+
+    fn churn_base() -> ClusteredProblemGraph {
+        use crate::clustering::Clustering;
+        let problem = stencil_1d(4, 4, 3, 2).unwrap();
+        let clustering = Clustering::new((0..16).map(|t| t % 4).collect()).unwrap();
+        ClusteredProblemGraph::new(problem, clustering).unwrap()
+    }
+
+    #[test]
+    fn churn_traces_apply_cleanly_in_every_regime() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        for (regime, seed) in [
+            (ChurnRegime::Arrivals, 1u64),
+            (ChurnRegime::Drift, 2),
+            (ChurnRegime::Mixed, 3),
+        ] {
+            let base = churn_base();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let trace = churn_trace(&base, 60, regime, &mut rng);
+            assert_eq!(trace.len(), 60, "{regime:?}");
+            let mut state = DynamicWorkload::from_clustered(&base);
+            for (i, event) in trace.iter().enumerate() {
+                state
+                    .apply(event)
+                    .unwrap_or_else(|e| panic!("{regime:?} event {i} ({event:?}) failed: {e}"));
+                let graph = state.materialize().unwrap();
+                assert_eq!(graph.num_clusters(), 4, "na is pinned to ns");
+                assert!(is_acyclic(graph.problem().graph()));
+            }
+        }
+    }
+
+    #[test]
+    fn churn_traces_are_seed_deterministic_and_regime_shaped() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let base = churn_base();
+        let run = |seed: u64, regime| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            churn_trace(&base, 80, regime, &mut rng)
+        };
+        assert_eq!(run(7, ChurnRegime::Mixed), run(7, ChurnRegime::Mixed));
+        // Drift never changes the task set; arrivals do.
+        let drift = run(9, ChurnRegime::Drift);
+        assert!(drift.iter().all(|e| !matches!(
+            e,
+            TraceEvent::AddTask { .. } | TraceEvent::RemoveTask { .. }
+        )));
+        let arrivals = run(9, ChurnRegime::Arrivals);
+        assert!(arrivals
+            .iter()
+            .any(|e| matches!(e, TraceEvent::AddTask { .. })));
+    }
+
+    #[test]
+    fn churn_regime_parse_accepts_names_and_aliases() {
+        assert_eq!(
+            ChurnRegime::parse("arrivals").unwrap(),
+            ChurnRegime::Arrivals
+        );
+        assert_eq!(ChurnRegime::parse("tasks").unwrap(), ChurnRegime::Arrivals);
+        assert_eq!(ChurnRegime::parse("drift").unwrap(), ChurnRegime::Drift);
+        assert_eq!(ChurnRegime::parse("weights").unwrap(), ChurnRegime::Drift);
+        assert_eq!(ChurnRegime::parse("mixed").unwrap(), ChurnRegime::Mixed);
+        assert!(ChurnRegime::parse("storm").is_err());
     }
 }

@@ -10,8 +10,10 @@ use mimd_taskgraph::clustering::load_balance::load_balanced_clustering;
 use mimd_taskgraph::clustering::random::random_clustering;
 use mimd_taskgraph::clustering::region::random_region_clustering;
 use mimd_taskgraph::clustering::round_robin::round_robin_clustering;
+use mimd_taskgraph::workloads::{churn_trace, ChurnRegime};
 use mimd_taskgraph::{
-    AbstractGraph, ClusteredProblemGraph, Clustering, GeneratorConfig, LayeredDagGenerator,
+    AbstractGraph, ClusteredProblemGraph, Clustering, DynamicWorkload, GeneratorConfig,
+    LayeredDagGenerator,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -152,5 +154,49 @@ proptest! {
         // generator settings; failures would flag a regression in the
         // merge heuristic.
         prop_assert!(greedy.total_cut_weight() <= random.total_cut_weight() + p.graph().total_edge_weight() / 10);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Applying a churn trace delta-by-delta ends in exactly the state
+    /// rebuilt from the final snapshot — i.e. the same
+    /// `ClusteredProblemGraph` — and every intermediate state stays a
+    /// valid instance with the cluster count pinned.
+    #[test]
+    fn trace_deltas_commute_with_snapshot_rebuild(
+        np in 16usize..64,
+        na_frac in 2usize..6,
+        events in 10usize..80,
+        regime in 0usize..3,
+        seed in 0u64..100_000,
+    ) {
+        let p = generated(np, seed, Some(1));
+        let na = (np / na_frac).max(2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clustering = random_region_clustering(&p, na, &mut rng).unwrap();
+        let base = ClusteredProblemGraph::new(p, clustering).unwrap();
+
+        let regime = [ChurnRegime::Arrivals, ChurnRegime::Drift, ChurnRegime::Mixed][regime];
+        let trace = churn_trace(&base, events, regime, &mut rng);
+        prop_assert_eq!(trace.len(), events);
+
+        let mut state = DynamicWorkload::from_clustered(&base);
+        for event in &trace {
+            let impact = state.apply(event).unwrap();
+            prop_assert!(impact.touched_clusters.iter().all(|&c| c < na));
+            let graph = state.materialize().unwrap();
+            prop_assert_eq!(graph.num_clusters(), na);
+            prop_assert!(is_acyclic(graph.problem().graph()));
+        }
+
+        // Delta-by-delta == rebuild-from-final-state.
+        let rebuilt = DynamicWorkload::from_snapshot(&state.snapshot()).unwrap();
+        prop_assert_eq!(&rebuilt, &state);
+        prop_assert_eq!(
+            rebuilt.materialize().unwrap(),
+            state.materialize().unwrap()
+        );
     }
 }

@@ -51,6 +51,12 @@ commands:
              — replay a trace through the incremental remapper, one
                JSONL record per event (--scratch forces a full V-cycle
                per event for comparison)
+  serve      [--max-sessions <n>]
+             — long-running MappingService loop: one JSONL Request per
+               stdin line (map_once | open_session | apply |
+               close_session | catalog | stats), one JSONL Response per
+               stdout line; sessions share topology artifacts with
+               one-shot jobs through one cache
   algorithms (no flags) — list every registry algorithm with a
                one-line description
   paper      (no flags) — reproduce the worked example's artifacts
@@ -85,6 +91,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "sweep" => cmd_sweep(&flags),
         "trace" => cmd_trace(&flags),
         "replay" => cmd_replay(&flags),
+        "serve" => cmd_serve(&flags),
         "algorithms" => cmd_algorithms(&flags),
         "paper" => cmd_paper(&flags),
         other => Err(format!("unknown command '{other}'")),
@@ -472,15 +479,10 @@ fn cmd_replay(flags: &Flags) -> Result<(), String> {
         multilevel: defaults.multilevel,
     };
 
-    // Route topology artifacts through the engine cache so replay and
-    // any co-resident batch share the hierarchy (and its counters).
-    let cache = mimd_engine::TopologyCache::new();
-    let artifacts = cache
-        .get_or_build(&header.topology, header.topology_seed())
-        .map_err(|e| format!("topology: {e}"))?;
-    let hierarchy = cache
-        .system_hierarchy(&artifacts)
-        .map_err(|e| format!("hierarchy: {e}"))?;
+    // Replay through the unified MappingService: topology artifacts
+    // come from its shared cache, so replay and any co-resident
+    // batch/session traffic share the hierarchy (and its counters).
+    let service = mimd_service::MappingService::default();
 
     let mut sink: Box<dyn Write> = match flags.get("out") {
         Some(path) => Box::new(std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?),
@@ -488,14 +490,13 @@ fn cmd_replay(flags: &Flags) -> Result<(), String> {
     };
     let seed = flags.num("seed", 1991u64)?;
     let mut write_error: Option<std::io::Error> = None;
-    let summary =
-        mimd_online::replay_trace(&header, &events, &config, Some(hierarchy), seed, |record| {
-            if write_error.is_none() {
-                if let Err(e) = writeln!(sink, "{}", record.to_json_line()) {
-                    write_error = Some(e);
-                }
+    let summary = service.replay(&header, &events, &config, seed, |record| {
+        if write_error.is_none() {
+            if let Err(e) = writeln!(sink, "{}", record.to_json_line()) {
+                write_error = Some(e);
             }
-        })?;
+        }
+    })?;
     match write_error {
         Some(e) if e.kind() == std::io::ErrorKind::BrokenPipe => return Ok(()),
         Some(e) => return Err(format!("writing records: {e}")),
@@ -508,19 +509,19 @@ fn cmd_replay(flags: &Flags) -> Result<(), String> {
         return Ok(());
     }
 
-    let stats = cache.stats();
+    // Cache counters as the canonical serde CacheStats object, not
+    // ad-hoc counter prose — the same shape `Response::Stats` serves.
+    let stats = service.cache_stats();
     eprintln!(
         "replay: {} events ({} incremental, {} full, {} errors), \
-         {} migrations, mean {:.1}% over lower bound; hierarchy cache: \
-         {} misses, {} hits",
+         {} migrations, mean {:.1}% over lower bound; cache: {}",
         summary.events,
         summary.incremental,
         summary.full_remaps,
         summary.errors,
         summary.total_moves,
         summary.mean_percent_over(),
-        stats.hierarchy_misses,
-        stats.hierarchy_hits,
+        serde_json::to_string(&stats).map_err(|e| e.to_string())?,
     );
     if flags.has("summary") {
         let mut table = Table::new("replay summary", &["metric", "value"]);
@@ -535,6 +536,39 @@ fn cmd_replay(flags: &Flags) -> Result<(), String> {
         ]);
         eprintln!("{}", table.render());
     }
+    Ok(())
+}
+
+/// `mimd serve`: the long-running MappingService loop — one JSONL
+/// [`mimd_service::Request`] per stdin line, one JSONL
+/// [`mimd_service::Response`] per stdout line, until EOF. Sessions are
+/// multiplexed in-process and share topology artifacts with `map_once`
+/// traffic through one cache; per-session seeding is deterministic, so
+/// a served trace is byte-identical to `mimd replay` on the same trace.
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    flags.allow_only(&["max-sessions"])?;
+    let defaults = mimd_service::ServiceConfig::default();
+    let service = mimd_service::MappingService::new(mimd_service::ServiceConfig {
+        max_sessions: flags.num("max-sessions", defaults.max_sessions)?,
+        ..defaults
+    });
+    let summary = match mimd_service::serve_jsonl(
+        &service,
+        std::io::stdin().lock(),
+        std::io::stdout().lock(),
+    ) {
+        Ok(summary) => summary,
+        // Consumer closed the pipe: conventional clean stop.
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => return Ok(()),
+        Err(e) => return Err(format!("serve: {e}")),
+    };
+    let stats = service.stats();
+    eprintln!(
+        "serve: {} requests ({} errors); {}",
+        summary.requests,
+        summary.errors,
+        serde_json::to_string(&stats).map_err(|e| e.to_string())?,
+    );
     Ok(())
 }
 
@@ -599,7 +633,8 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// Shared tail of `batch` and `sweep`: run the jobs, stream JSONL
+/// Shared tail of `batch` and `sweep`, a thin client of the unified
+/// [`mimd_service::MappingService`]: run the jobs, stream JSONL
 /// results (to stdout or `--out`), and optionally print the aggregate
 /// summary table plus cache statistics. Jobs come in as a lazy
 /// iterator so large stdin batches are never fully buffered; an input
@@ -613,9 +648,12 @@ fn run_jobs_and_emit(
     use std::io::Write;
 
     let threads = flags.num("threads", 0usize)?;
-    let engine = mimd_engine::Engine::new(mimd_engine::EngineConfig {
-        threads,
-        ..mimd_engine::EngineConfig::default()
+    let service = mimd_service::MappingService::new(mimd_service::ServiceConfig {
+        engine: mimd_engine::EngineConfig {
+            threads,
+            ..mimd_engine::EngineConfig::default()
+        },
+        ..mimd_service::ServiceConfig::default()
     });
 
     let mut sink: Box<dyn Write> = match flags.get("out") {
@@ -635,8 +673,8 @@ fn run_jobs_and_emit(
     let mut summary = mimd_report::BatchSummary::new();
     let mut failures = 0usize;
     let mut write_error: Option<std::io::Error> = None;
-    let cancel = engine.cancel_token();
-    let total = engine.run_stream(jobs, |result| {
+    let cancel = service.cancel_token();
+    let total = service.run_stream(jobs, |result| {
         if result.error.is_some() {
             failures += 1;
             summary.add_error(&result.algorithm, &result.topology);
@@ -670,11 +708,10 @@ fn run_jobs_and_emit(
         return Ok(());
     }
 
-    let stats = engine.cache_stats();
+    let stats = service.cache_stats();
     eprintln!(
-        "{what}: {total} jobs ({failures} failed); topology cache: \
-         {} entries, {} hits, {} misses",
-        stats.entries, stats.hits, stats.misses
+        "{what}: {total} jobs ({failures} failed); topology cache: {}",
+        serde_json::to_string(&stats).map_err(|e| e.to_string())?
     );
     if flags.has("summary") {
         eprintln!(
@@ -1117,5 +1154,7 @@ mod tests {
         );
         assert!(run(&["topology", "--spec", "nope:1"]).is_err());
         assert!(run(&["generate", "--frobnicate"]).is_err());
+        // Flag validation fails before `serve` ever touches stdin.
+        assert!(run(&["serve", "--frobnicate"]).is_err());
     }
 }

@@ -1,0 +1,86 @@
+//! End-to-end `mimd serve` acceptance: a 64-node-torus churn trace
+//! piped through the real binary produces per-event JSONL records
+//! byte-identical to `mimd replay` on the same trace.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mimd_online::{write_trace, DynamicWorkload, TraceHeader};
+use mimd_service::{trace_requests, Response};
+use mimd_taskgraph::clustering::region::random_region_clustering;
+use mimd_taskgraph::workloads::{churn_trace, ChurnRegime};
+use mimd_taskgraph::{ClusteredProblemGraph, GeneratorConfig, LayeredDagGenerator, TraceEvent};
+use mimd_topology::TopologySpec;
+
+fn torus_trace(seed: u64, events: usize) -> (TraceHeader, Vec<TraceEvent>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gen = LayeredDagGenerator::new(GeneratorConfig {
+        tasks: 128,
+        ..GeneratorConfig::default()
+    })
+    .unwrap();
+    let problem = gen.generate(&mut rng);
+    let clustering = random_region_clustering(&problem, 64, &mut rng).unwrap();
+    let base = ClusteredProblemGraph::new(problem, clustering).unwrap();
+    let trace = churn_trace(&base, events, ChurnRegime::Mixed, &mut rng);
+    let header = TraceHeader {
+        topology: TopologySpec::Torus { rows: 8, cols: 8 },
+        topology_seed: None,
+        snapshot: DynamicWorkload::from_clustered(&base).snapshot(),
+    };
+    (header, trace)
+}
+
+/// Run the `mimd` binary with `args`, feeding `stdin`, returning stdout.
+fn run_mimd(args: &[&str], stdin: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mimd"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("mimd binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(stdin.as_bytes())
+        .unwrap();
+    let output = child.wait_with_output().unwrap();
+    assert!(output.status.success(), "mimd {args:?} failed");
+    String::from_utf8(output.stdout).unwrap()
+}
+
+#[test]
+fn served_trace_is_byte_identical_to_replay() {
+    let seed = 7;
+    let (header, events) = torus_trace(1991, 60);
+
+    // `mimd replay` over the trace file format on stdin.
+    let mut trace_file = Vec::new();
+    write_trace(&mut trace_file, &header, &events).unwrap();
+    let replayed = run_mimd(
+        &["replay", "--trace", "-", "--seed", &seed.to_string()],
+        &String::from_utf8(trace_file).unwrap(),
+    );
+    let replayed: Vec<&str> = replayed.lines().collect();
+    assert_eq!(replayed.len(), events.len() + 1, "init + one per event");
+
+    // `mimd serve` over the same trace converted to protocol requests
+    // (fresh service: the first session id is 1).
+    let requests: String = trace_requests(&header, &events, seed, None, 1)
+        .iter()
+        .map(|r| r.to_json_line() + "\n")
+        .collect();
+    let served = run_mimd(&["serve"], &requests);
+    let records: Vec<String> = served
+        .lines()
+        .map(|line| Response::from_json_line(line).unwrap_or_else(|e| panic!("{line}: {e}")))
+        .filter_map(|response| response.record().map(|r| r.to_json_line()))
+        .collect();
+
+    assert_eq!(records, replayed, "served records must equal replay bytes");
+}

@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
 use mimd_graph::error::GraphError;
 use mimd_multilevel::SystemHierarchy;
@@ -62,8 +63,10 @@ impl TopologyArtifacts {
     }
 }
 
-/// Cache statistics snapshot.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Cache statistics snapshot. Serde-serializable so services can report
+/// it on the wire (`mimd-service`'s `Response::Stats`) and CLIs can
+/// print it as one canonical JSON object instead of ad-hoc counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lookups served from an already-built entry.
     pub hits: usize,

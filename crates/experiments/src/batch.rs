@@ -1,14 +1,14 @@
-//! Express an experiment series as an engine batch.
+//! Express an experiment series as a mapping-service batch.
 //!
 //! The harness's row loop ([`crate::harness::run_series`]) is the
 //! faithful single-threaded reproduction; this module rebases the same
-//! experiment shape onto the `mimd-engine` job model so series run on
-//! the worker pool with shared topology artifacts — the template every
-//! scaling experiment (sharding, portfolio sweeps) builds on.
+//! experiment shape onto the `mimd-engine` job model and runs it as a
+//! thin client of the unified [`MappingService`] — the same front door
+//! `mimd batch`, `mimd replay` and `mimd serve` use — so series run on
+//! the worker pool with shared topology artifacts.
 
-use mimd_engine::{
-    AlgorithmSpec, ClusteringSpec, Engine, EngineConfig, JobResult, JobSpec, WorkloadSpec,
-};
+use mimd_engine::{AlgorithmSpec, ClusteringSpec, EngineConfig, JobResult, JobSpec, WorkloadSpec};
+use mimd_service::{MappingService, ServiceConfig};
 
 use crate::harness::SeriesConfig;
 
@@ -36,14 +36,17 @@ pub fn series_jobs(config: &SeriesConfig) -> Vec<JobSpec> {
         .collect()
 }
 
-/// Run a series through the batch engine on `threads` workers,
+/// Run a series through the mapping service on `threads` workers,
 /// returning one [`JobResult`] per row (input order).
 pub fn run_series_batched(config: &SeriesConfig, threads: usize) -> Vec<JobResult> {
-    let engine = Engine::new(EngineConfig {
-        threads,
-        ..EngineConfig::default()
+    let service = MappingService::new(ServiceConfig {
+        engine: EngineConfig {
+            threads,
+            ..EngineConfig::default()
+        },
+        ..ServiceConfig::default()
     });
-    engine.run_batch(&series_jobs(config))
+    service.run_batch(&series_jobs(config))
 }
 
 #[cfg(test)]
@@ -100,10 +103,10 @@ mod tests {
 
     #[test]
     fn repeated_topologies_share_cache_entries() {
-        let engine = Engine::new(EngineConfig::default());
-        engine.run_batch(&series_jobs(&series()));
+        let service = MappingService::default();
+        service.run_batch(&series_jobs(&series()));
         // Two hypercube rows share one entry; the ring adds another.
-        let stats = engine.cache_stats();
+        let stats = service.cache_stats();
         assert_eq!(stats.entries, 2, "{stats:?}");
         assert_eq!(stats.misses, 2, "{stats:?}");
         assert_eq!(stats.hits, 1, "{stats:?}");

@@ -19,6 +19,10 @@
 //!   [`OnlineConfig::staleness_threshold`];
 //! * [`refine`] — the penalized-objective refiner, batch-deterministic
 //!   like its multilevel counterpart;
+//! * [`bounds`] — the delta-aware [`IncrementalBound`]: ideal-schedule
+//!   ranks repaired per event by worklist propagation over the
+//!   disturbed cone, replacing a from-scratch `IdealSchedule::derive`
+//!   per replayed event;
 //! * [`replay`] — the trace wire format ([`TraceHeader`] + events) and
 //!   the [`replay_trace`] driver emitting per-event [`ReplayRecord`]
 //!   JSONL (the `mimd replay` subcommand).
@@ -26,10 +30,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bounds;
 pub mod mapper;
 pub mod refine;
 pub mod replay;
 
+pub use bounds::IncrementalBound;
 pub use mapper::{IncrementalMapper, OnlineConfig, OnlineSession};
 pub use refine::{
     count_moves, refine_with_migration, MigrationRefineConfig, MigrationRefineOutcome,

@@ -26,12 +26,13 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use mimd_core::{Assignment, IdealSchedule};
+use mimd_core::Assignment;
 use mimd_graph::error::GraphError;
 use mimd_graph::{NodeId, Time};
 use mimd_multilevel::{MultilevelConfig, MultilevelMapper, SystemHierarchy};
 use mimd_taskgraph::{ClusterId, DynamicWorkload, TraceEvent};
 
+use crate::bounds::IncrementalBound;
 use crate::refine::{count_moves, refine_with_migration, MigrationRefineConfig};
 use crate::replay::ReplayRecord;
 
@@ -106,9 +107,11 @@ impl IncrementalMapper {
             });
         }
         let graph = workload.materialize()?;
+        let bound = IncrementalBound::new(&workload);
         let mut rng = StdRng::seed_from_u64(seed);
         let result = MultilevelMapper::with_config(self.config.multilevel.clone())
             .map_with_hierarchy(&graph, &hierarchy, &mut rng)?;
+        debug_assert_eq!(bound.lower_bound(), result.lower_bound);
         let record = ReplayRecord {
             index: 0,
             kind: "init".into(),
@@ -127,6 +130,7 @@ impl IncrementalMapper {
             config: self.config.clone(),
             hierarchy,
             workload,
+            bound,
             assignment: result.assignment,
             rng,
             drift: 0.0,
@@ -144,6 +148,9 @@ pub struct OnlineSession {
     config: OnlineConfig,
     hierarchy: Arc<SystemHierarchy>,
     workload: DynamicWorkload,
+    /// Delta-maintained ideal-schedule lower bound (kept exactly equal
+    /// to a from-scratch derivation on the materialized state).
+    bound: IncrementalBound,
     assignment: Assignment,
     rng: StdRng,
     /// Moved weight since the last full map, as a fraction of total
@@ -197,11 +204,14 @@ impl OnlineSession {
 
     fn try_apply(&mut self, event: &TraceEvent) -> Result<ReplayRecord, GraphError> {
         let impact = self.workload.apply(event)?;
+        // The bound tracker shadows the workload delta-by-delta: only
+        // the disturbed cone's ranks are recomputed per event.
+        self.bound.apply(event, &self.workload);
         let graph = self.workload.materialize()?;
         let total_weight = self.workload.total_weight().max(1);
         self.drift += impact.weight_delta as f64 / total_weight as f64;
 
-        let lower_bound = IdealSchedule::derive(&graph).lower_bound();
+        let lower_bound = self.bound.lower_bound();
         let stale = impact.global || self.drift >= self.config.staleness_threshold;
         let (action, moves, evaluations) = if stale {
             let previous = self.assignment.clone();

@@ -106,6 +106,43 @@ proptest! {
         }
     }
 
+    /// The delta-aware ideal-schedule bound equals the from-scratch
+    /// derivation on *every* replayed event (the ISSUE's incremental
+    /// lower-bound contract): only touched clusters' ranks are repaired
+    /// per event, yet the bound never drifts from
+    /// `IdealSchedule::derive`.
+    #[test]
+    fn incremental_bound_equals_scratch_on_every_event(
+        topo in 0usize..4,
+        extra in 16usize..96,
+        events in 5usize..40,
+        regime in 0usize..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let (_, system) = topology(topo);
+        let ns = system.len();
+        let base = instance(extra, ns, seed);
+        let regime = [ChurnRegime::Arrivals, ChurnRegime::Drift, ChurnRegime::Mixed][regime];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = churn_trace(&base, events, regime, &mut rng);
+
+        let mut workload = DynamicWorkload::from_clustered(&base);
+        let mut bound = mimd_online::IncrementalBound::new(&workload);
+        prop_assert_eq!(
+            bound.lower_bound(),
+            mimd_core::IdealSchedule::derive(&base).lower_bound()
+        );
+        for event in &trace {
+            if workload.apply(event).is_err() {
+                continue; // rejected events must not touch the bound
+            }
+            bound.apply(event, &workload);
+            let scratch = mimd_core::IdealSchedule::derive(&workload.materialize().unwrap())
+                .lower_bound();
+            prop_assert_eq!(bound.lower_bound(), scratch, "{:?}", event);
+        }
+    }
+
     /// Replaying the same trace with the same seed is bit-for-bit
     /// reproducible (records and final assignment alike).
     #[test]

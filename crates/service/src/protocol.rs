@@ -1,0 +1,344 @@
+//! The service wire protocol: one serde [`Request`] per JSONL line in,
+//! one serde [`Response`] per line out.
+//!
+//! The protocol is the union of the workspace's existing wire formats —
+//! a [`MapOnce`](Request::MapOnce) carries the batch engine's
+//! [`JobSpec`] and answers with its [`JobResult`]; a session opened
+//! from a trace [`TraceHeader`] answers every
+//! [`Apply`](Request::Apply)d [`TraceEvent`] with the replay driver's
+//! [`ReplayRecord`] — so existing batch files and traces convert
+//! line-for-line. Failures come back as a structured [`ServiceError`]
+//! with a machine-readable [`ErrorCode`], never as a dropped line: every
+//! request produces exactly one response.
+
+use serde::{Deserialize, Serialize};
+
+use mimd_engine::{CacheStats, JobResult, JobSpec};
+use mimd_online::{OnlineConfig, ReplayRecord, TraceEvent, TraceHeader};
+
+/// One request line of the service protocol.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum Request {
+    /// Map one instance, batch-engine style: the job's topology
+    /// artifacts come from the same shared cache session traffic uses.
+    MapOnce {
+        /// The engine job to run.
+        job: JobSpec,
+    },
+    /// Open an incremental remapping session from a trace header
+    /// (topology + initial workload snapshot). The service allocates
+    /// session ids deterministically: 1, 2, 3, … in open order.
+    OpenSession {
+        /// Target machine and initial workload (a trace file's first
+        /// line, verbatim).
+        header: TraceHeader,
+        /// Session seed. A session opened with the same header, seed
+        /// and config as a `mimd replay` run emits byte-identical
+        /// records for the same events.
+        seed: u64,
+        /// Optional overrides of the online defaults.
+        config: Option<SessionConfig>,
+    },
+    /// Apply one trace event to an open session.
+    Apply {
+        /// The session id returned by `OpenSession`.
+        session: u64,
+        /// The delta to apply.
+        event: TraceEvent,
+    },
+    /// Close a session, freeing its state.
+    CloseSession {
+        /// The session id to close.
+        session: u64,
+    },
+    /// List every registry algorithm with its description.
+    Catalog,
+    /// Report service statistics (shared topology cache counters,
+    /// session counts).
+    Stats,
+}
+
+impl Request {
+    /// Serialize to one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("Request serializes")
+    }
+
+    /// Parse from one JSONL line.
+    pub fn from_json_line(line: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(line)
+    }
+}
+
+/// Per-session overrides of the [`OnlineConfig`] defaults — the same
+/// knobs `mimd replay` exposes as flags.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Cost charged per migrated cluster; `None` uses the online
+    /// default.
+    pub migration_penalty: Option<u64>,
+    /// Drift fraction triggering a full V-cycle; `None` uses the online
+    /// default.
+    pub staleness_threshold: Option<f64>,
+    /// Candidate evaluations per incremental event; `None` uses the
+    /// online default.
+    pub local_rounds: Option<usize>,
+    /// Minimum processors per refinement region; `None` uses the online
+    /// default.
+    pub region_size: Option<usize>,
+}
+
+impl SessionConfig {
+    /// Resolve against the online defaults (exactly how `mimd replay`
+    /// resolves its flags, so served and replayed sessions agree).
+    pub fn resolve(&self) -> OnlineConfig {
+        let defaults = OnlineConfig::default();
+        OnlineConfig {
+            migration_penalty: self.migration_penalty.unwrap_or(defaults.migration_penalty),
+            staleness_threshold: self
+                .staleness_threshold
+                .unwrap_or(defaults.staleness_threshold),
+            local_rounds: self.local_rounds.unwrap_or(defaults.local_rounds),
+            region_size: self.region_size.unwrap_or(defaults.region_size),
+            multilevel: defaults.multilevel,
+        }
+    }
+}
+
+/// One response line of the service protocol.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum Response {
+    /// Answer to [`Request::MapOnce`]: the engine's result line
+    /// (assignment, bounds, quality metrics) verbatim.
+    MapResult {
+        /// The job result.
+        result: JobResult,
+    },
+    /// Answer to [`Request::OpenSession`]: the initial full mapping.
+    SessionOpened {
+        /// The allocated session id (deterministic: 1, 2, 3, …).
+        session: u64,
+        /// The index-0 record of the initial mapping — byte-identical
+        /// to the first line `mimd replay` would emit.
+        record: ReplayRecord,
+        /// The current cluster → processor assignment.
+        assignment: Vec<usize>,
+    },
+    /// Answer to [`Request::Apply`]: how the event was served. Invalid
+    /// events come back here too, as `record.action = "error"` with the
+    /// session state unchanged — exactly like replay.
+    Applied {
+        /// The session id.
+        session: u64,
+        /// The per-event record — byte-identical to the corresponding
+        /// `mimd replay` line.
+        record: ReplayRecord,
+        /// The current cluster → processor assignment.
+        assignment: Vec<usize>,
+    },
+    /// Answer to [`Request::CloseSession`].
+    SessionClosed {
+        /// The closed session id.
+        session: u64,
+        /// Events the session served (excluding the initial mapping).
+        events: usize,
+    },
+    /// Answer to [`Request::Catalog`].
+    Catalog {
+        /// Every registry algorithm.
+        algorithms: Vec<CatalogEntry>,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats {
+        /// Current service statistics.
+        stats: ServiceStats,
+    },
+    /// Any failed request (including unparseable lines).
+    Error {
+        /// What went wrong.
+        error: ServiceError,
+    },
+}
+
+impl Response {
+    /// Serialize to one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("Response serializes")
+    }
+
+    /// Parse from one JSONL line.
+    pub fn from_json_line(line: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(line)
+    }
+
+    /// The per-event record carried by session responses, if any —
+    /// extracting these from a served trace reproduces the `mimd
+    /// replay` output stream.
+    pub fn record(&self) -> Option<&ReplayRecord> {
+        match self {
+            Response::SessionOpened { record, .. } | Response::Applied { record, .. } => {
+                Some(record)
+            }
+            _ => None,
+        }
+    }
+
+    /// `true` for error responses.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Response::Error { .. })
+    }
+}
+
+/// One algorithm of the registry catalog.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CatalogEntry {
+    /// Stable machine-readable name (accepted by `AlgorithmSpec::parse`).
+    pub name: String,
+    /// One-line description.
+    pub description: String,
+}
+
+/// Service-wide statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Shared topology-cache counters — one cache across one-shot and
+    /// session traffic, so mixed workloads show hierarchy hits here.
+    pub cache: CacheStats,
+    /// Sessions currently open.
+    pub open_sessions: usize,
+    /// Sessions opened over the service lifetime.
+    pub sessions_opened: usize,
+    /// `MapOnce` requests served.
+    pub map_once_served: usize,
+    /// Session events applied (excluding initial mappings).
+    pub events_applied: usize,
+}
+
+/// Machine-readable failure category.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ErrorCode {
+    /// The request line did not parse as a [`Request`].
+    BadRequest,
+    /// A `MapOnce` job failed (bad workload, np < ns, …).
+    InvalidJob,
+    /// The topology spec could not be built.
+    Topology,
+    /// The workload snapshot was invalid or mismatched the machine.
+    Workload,
+    /// The session id is not open.
+    UnknownSession,
+    /// The per-service session cap would be exceeded.
+    SessionLimit,
+}
+
+/// A structured failure: every failed request maps to exactly one of
+/// these, never to a dropped or half-written line.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceError {
+    /// Failure category.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ServiceError {
+    /// Convenience constructor.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ServiceError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Wrap into the response envelope.
+    pub fn into_response(self) -> Response {
+        Response::Error { error: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimd_engine::{AlgorithmSpec, TopologySpec, WorkloadSpec};
+    use mimd_online::DynamicWorkload;
+    use mimd_taskgraph::{ClusteredProblemGraph, Clustering, ProblemGraph};
+
+    fn sample_header() -> TraceHeader {
+        let p = ProblemGraph::from_paper_edges(&[2, 3, 1, 4], &[(1, 2, 5), (3, 4, 7)]).unwrap();
+        let c = Clustering::new(vec![0, 1, 2, 3]).unwrap();
+        let g = ClusteredProblemGraph::new(p, c).unwrap();
+        TraceHeader {
+            topology: TopologySpec::Ring { n: 4 },
+            topology_seed: None,
+            snapshot: DynamicWorkload::from_clustered(&g).snapshot(),
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip_through_serde_json() {
+        let requests = vec![
+            Request::MapOnce {
+                job: JobSpec {
+                    id: None,
+                    workload: WorkloadSpec::Fft { log2n: 3 },
+                    clustering: None,
+                    topology: TopologySpec::Ring { n: 4 },
+                    topology_seed: None,
+                    algorithm: AlgorithmSpec::Random { k: 4 },
+                    seed: 7,
+                },
+            },
+            Request::OpenSession {
+                header: sample_header(),
+                seed: 11,
+                config: Some(SessionConfig {
+                    migration_penalty: Some(3),
+                    ..SessionConfig::default()
+                }),
+            },
+            Request::Apply {
+                session: 1,
+                event: TraceEvent::SetTaskSize { task: 0, size: 9 },
+            },
+            Request::CloseSession { session: 1 },
+            Request::Catalog,
+            Request::Stats,
+        ];
+        for request in requests {
+            let line = request.to_json_line();
+            assert!(!line.contains('\n'));
+            assert!(line.contains("\"op\""), "{line}");
+            assert_eq!(Request::from_json_line(&line).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn error_responses_roundtrip_with_snake_case_codes() {
+        let response = ServiceError::new(ErrorCode::UnknownSession, "session 9").into_response();
+        let line = response.to_json_line();
+        assert!(line.contains("unknown_session"), "{line}");
+        assert_eq!(Response::from_json_line(&line).unwrap(), response);
+        assert!(response.is_error());
+        assert!(response.record().is_none());
+    }
+
+    #[test]
+    fn session_config_resolves_against_online_defaults() {
+        let defaults = OnlineConfig::default();
+        assert_eq!(SessionConfig::default().resolve(), defaults);
+        let custom = SessionConfig {
+            migration_penalty: Some(9),
+            staleness_threshold: Some(0.5),
+            local_rounds: None,
+            region_size: Some(16),
+        };
+        let resolved = custom.resolve();
+        assert_eq!(resolved.migration_penalty, 9);
+        assert_eq!(resolved.staleness_threshold, 0.5);
+        assert_eq!(resolved.local_rounds, defaults.local_rounds);
+        assert_eq!(resolved.region_size, 16);
+    }
+}

@@ -1,0 +1,124 @@
+//! The long-running JSONL loop behind `mimd serve`: one [`Request`]
+//! per line on the reader, one [`Response`] per line on the writer.
+//!
+//! Framing follows the workspace's JSONL conventions (blank lines and
+//! `#`-comments are skipped); unlike batch input, a malformed line is
+//! *not* fatal — it answers a [`Response::Error`] with
+//! [`ErrorCode::BadRequest`] and the loop keeps serving, because a
+//! resource-manager sidecar must outlive one bad client line. The
+//! writer is flushed after every response so a co-process driving the
+//! loop over pipes never deadlocks waiting for buffered output.
+
+use std::io::{BufRead, Write};
+
+use mimd_online::{TraceEvent, TraceHeader};
+
+use crate::protocol::{ErrorCode, Request, ServiceError, SessionConfig};
+use crate::service::MappingService;
+
+/// What one serve loop did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Request lines consumed (including malformed ones).
+    pub requests: usize,
+    /// Responses that were errors (bad lines or failed requests).
+    pub errors: usize,
+}
+
+/// Serve requests line-by-line until the reader ends. Returns the
+/// summary, or the first I/O error on the writer (a broken pipe is the
+/// caller's clean-shutdown signal).
+pub fn serve_jsonl(
+    service: &MappingService,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> std::io::Result<ServeSummary> {
+    let mut summary = ServeSummary::default();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        summary.requests += 1;
+        let response = match Request::from_json_line(trimmed) {
+            Ok(request) => service.handle(request),
+            Err(e) => ServiceError::new(ErrorCode::BadRequest, format!("line {}: {e}", lineno + 1))
+                .into_response(),
+        };
+        if response.is_error() {
+            summary.errors += 1;
+        }
+        writeln!(writer, "{}", response.to_json_line())?;
+        // One response per request, immediately visible to the client.
+        writer.flush()?;
+    }
+    Ok(summary)
+}
+
+/// Convert a trace (header + events) into the request stream that
+/// serves it: `OpenSession`, one `Apply` per event, `CloseSession`.
+///
+/// `session` must be the id the service will allocate — 1 for the first
+/// session of a fresh service instance (ids are deterministic: 1, 2, 3,
+/// … in open order). Feeding the result to [`serve_jsonl`] on a fresh
+/// service yields records byte-identical to `mimd replay` with the same
+/// seed and config.
+pub fn trace_requests(
+    header: &TraceHeader,
+    events: &[TraceEvent],
+    seed: u64,
+    config: Option<SessionConfig>,
+    session: u64,
+) -> Vec<Request> {
+    let mut requests = Vec::with_capacity(events.len() + 2);
+    requests.push(Request::OpenSession {
+        header: header.clone(),
+        seed,
+        config,
+    });
+    for event in events {
+        requests.push(Request::Apply {
+            session,
+            event: event.clone(),
+        });
+    }
+    requests.push(Request::CloseSession { session });
+    requests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Response;
+
+    #[test]
+    fn malformed_lines_answer_bad_request_and_keep_serving() {
+        let service = MappingService::default();
+        let input = "# comment\n\n{oops\n{\"op\":\"catalog\"}\n{\"op\":\"nope\"}\n";
+        let mut output = Vec::new();
+        let summary = serve_jsonl(&service, input.as_bytes(), &mut output).unwrap();
+        assert_eq!(summary.requests, 3);
+        assert_eq!(summary.errors, 2);
+        let lines: Vec<Response> = String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|l| Response::from_json_line(l).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 3, "one response per request");
+        assert!(lines[0].is_error());
+        assert!(matches!(lines[1], Response::Catalog { .. }));
+        assert!(lines[2].is_error(), "unknown op is a bad request");
+    }
+
+    #[test]
+    fn stats_request_round_trips_through_the_loop() {
+        let service = MappingService::default();
+        let input = format!("{}\n", Request::Stats.to_json_line());
+        let mut output = Vec::new();
+        serve_jsonl(&service, input.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let response = Response::from_json_line(text.trim()).unwrap();
+        assert!(matches!(response, Response::Stats { .. }), "{response:?}");
+    }
+}

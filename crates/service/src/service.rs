@@ -1,0 +1,618 @@
+//! [`MappingService`]: the single front door over the engine, the
+//! multilevel V-cycle and the online remapper.
+//!
+//! One service instance owns one [`Engine`] (and therefore one
+//! [`TopologyCache`]) plus a table of live [`OnlineSession`]s. Every
+//! request kind — one-shot [`Request::MapOnce`] jobs, whole batches via
+//! [`MappingService::run_stream`], and session traffic — resolves its
+//! topology artifacts (`SystemGraph` APSP, routing tables, the
+//! system-side `SystemHierarchy`) through that one cache, so a
+//! multilevel `MapOnce` arriving while a session is open on the same
+//! machine pays zero setup, and vice versa.
+//!
+//! Determinism: session ids are allocated 1, 2, 3, … in open order, and
+//! all per-session randomness flows from the `OpenSession` seed — a
+//! served trace is byte-identical to `mimd replay` on the same header,
+//! events, seed and config.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mimd_engine::engine::execute_job;
+use mimd_engine::{
+    algorithm_catalog, CacheStats, CancelToken, Engine, EngineConfig, JobResult, JobSpec,
+    TopologyCache,
+};
+use mimd_online::{
+    replay_trace, DynamicWorkload, IncrementalMapper, OnlineConfig, OnlineSession, ReplayRecord,
+    ReplaySummary, TraceEvent, TraceHeader,
+};
+
+use crate::protocol::{
+    CatalogEntry, ErrorCode, Request, Response, ServiceError, ServiceStats, SessionConfig,
+};
+
+/// Service tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// The embedded batch engine's configuration (worker threads, queue
+    /// bound) — used by [`MappingService::run_stream`] /
+    /// [`MappingService::run_batch`].
+    pub engine: EngineConfig,
+    /// Maximum concurrently open sessions; `OpenSession` beyond this
+    /// answers [`ErrorCode::SessionLimit`].
+    pub max_sessions: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            engine: EngineConfig::default(),
+            max_sessions: 64,
+        }
+    }
+}
+
+/// A live session plus its bookkeeping.
+struct SessionEntry {
+    session: OnlineSession,
+    events: usize,
+    /// Tombstone set by `close_session`: an `Apply` that cloned the
+    /// entry out of the table but lost the entry-lock race to a close
+    /// must not serve the event after the final count was reported.
+    closed: bool,
+}
+
+/// The unified mapping service (see module docs).
+pub struct MappingService {
+    config: ServiceConfig,
+    engine: Engine,
+    /// Live sessions behind per-session locks: the table lock is held
+    /// only for lookup/insert/remove, never across a remap.
+    sessions: Mutex<BTreeMap<u64, Arc<Mutex<SessionEntry>>>>,
+    next_session: AtomicU64,
+    sessions_opened: AtomicUsize,
+    map_once_served: AtomicUsize,
+    events_applied: AtomicUsize,
+}
+
+impl Default for MappingService {
+    fn default() -> Self {
+        MappingService::new(ServiceConfig::default())
+    }
+}
+
+impl MappingService {
+    /// Service with a fresh topology cache.
+    pub fn new(config: ServiceConfig) -> Self {
+        let cache = Arc::new(TopologyCache::new());
+        MappingService::with_cache(config, cache)
+    }
+
+    /// Service sharing an existing topology cache (e.g. with another
+    /// service or a co-resident engine).
+    pub fn with_cache(config: ServiceConfig, cache: Arc<TopologyCache>) -> Self {
+        MappingService {
+            engine: Engine::with_cache(config.engine.clone(), cache),
+            config,
+            sessions: Mutex::new(BTreeMap::new()),
+            next_session: AtomicU64::new(1),
+            sessions_opened: AtomicUsize::new(0),
+            map_once_served: AtomicUsize::new(0),
+            events_applied: AtomicUsize::new(0),
+        }
+    }
+
+    /// The shared topology cache.
+    pub fn cache(&self) -> &TopologyCache {
+        self.engine.cache()
+    }
+
+    /// Shared-cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.engine.cache_stats()
+    }
+
+    /// The embedded engine's cancellation handle (affects batch/stream
+    /// traffic only; session requests are always served).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.engine.cancel_token()
+    }
+
+    /// Current service statistics.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            cache: self.cache_stats(),
+            open_sessions: self.sessions.lock().len(),
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            map_once_served: self.map_once_served.load(Ordering::Relaxed),
+            events_applied: self.events_applied.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Serve one request. Never panics on bad input: every failure maps
+    /// to a structured [`Response::Error`].
+    pub fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::MapOnce { job } => self.map_once(&job),
+            Request::OpenSession {
+                header,
+                seed,
+                config,
+            } => self.open_session(&header, seed, config.unwrap_or_default()),
+            Request::Apply { session, event } => self.apply(session, &event),
+            Request::CloseSession { session } => self.close_session(session),
+            Request::Catalog => Response::Catalog {
+                algorithms: algorithm_catalog()
+                    .iter()
+                    .map(|&(name, description)| CatalogEntry {
+                        name: name.to_string(),
+                        description: description.to_string(),
+                    })
+                    .collect(),
+            },
+            Request::Stats => Response::Stats {
+                stats: self.stats(),
+            },
+        }
+    }
+
+    /// Run one job against the shared cache (the engine's single-job
+    /// code path; the batch engine and `MapOnce` behave identically).
+    pub fn map_job(&self, spec: &JobSpec) -> JobResult {
+        self.map_once_served.fetch_add(1, Ordering::Relaxed);
+        execute_job(spec, 0, self.cache())
+    }
+
+    /// Run a stream of jobs on the embedded engine (shared cache,
+    /// in-order emission) — the `mimd batch` / `mimd sweep` path.
+    pub fn run_stream<I, F>(&self, jobs: I, sink: F) -> usize
+    where
+        I: IntoIterator<Item = JobSpec>,
+        F: FnMut(JobResult),
+    {
+        self.engine.run_stream(jobs, sink)
+    }
+
+    /// Run a batch of jobs on the embedded engine, results in input
+    /// order.
+    pub fn run_batch(&self, specs: &[JobSpec]) -> Vec<JobResult> {
+        self.engine.run_batch(specs)
+    }
+
+    /// Replay a whole trace through a private session against the
+    /// shared cache — the `mimd replay` path. Equivalent to
+    /// `OpenSession` + one `Apply` per event + `CloseSession`, without
+    /// touching the session table.
+    pub fn replay(
+        &self,
+        header: &TraceHeader,
+        events: &[TraceEvent],
+        config: &OnlineConfig,
+        seed: u64,
+        sink: impl FnMut(&ReplayRecord),
+    ) -> Result<ReplaySummary, String> {
+        let artifacts = self
+            .cache()
+            .get_or_build(&header.topology, header.topology_seed())
+            .map_err(|e| format!("topology: {e}"))?;
+        let hierarchy = self
+            .cache()
+            .system_hierarchy(&artifacts)
+            .map_err(|e| format!("hierarchy: {e}"))?;
+        replay_trace(header, events, config, Some(hierarchy), seed, sink)
+    }
+
+    fn map_once(&self, job: &JobSpec) -> Response {
+        let result = self.map_job(job);
+        match &result.error {
+            Some(message) => {
+                ServiceError::new(ErrorCode::InvalidJob, message.clone()).into_response()
+            }
+            None => Response::MapResult { result },
+        }
+    }
+
+    fn open_session(&self, header: &TraceHeader, seed: u64, config: SessionConfig) -> Response {
+        // Cheap fast-path rejection before paying for a V-cycle; the
+        // authoritative check happens again under the lock at insert.
+        if let Some(response) = self.session_limit_error() {
+            return response;
+        }
+        let artifacts = match self
+            .cache()
+            .get_or_build(&header.topology, header.topology_seed())
+        {
+            Ok(artifacts) => artifacts,
+            Err(e) => {
+                return ServiceError::new(ErrorCode::Topology, format!("topology: {e}"))
+                    .into_response()
+            }
+        };
+        let hierarchy = match self.cache().system_hierarchy(&artifacts) {
+            Ok(hierarchy) => hierarchy,
+            Err(e) => {
+                return ServiceError::new(ErrorCode::Topology, format!("hierarchy: {e}"))
+                    .into_response()
+            }
+        };
+        let workload = match DynamicWorkload::from_snapshot(&header.snapshot) {
+            Ok(workload) => workload,
+            Err(e) => {
+                return ServiceError::new(ErrorCode::Workload, format!("snapshot: {e}"))
+                    .into_response()
+            }
+        };
+        let (session, record) = match IncrementalMapper::with_config(config.resolve())
+            .begin(workload, hierarchy, seed)
+        {
+            Ok(begun) => begun,
+            Err(e) => {
+                return ServiceError::new(ErrorCode::Workload, format!("begin: {e}"))
+                    .into_response()
+            }
+        };
+        let assignment = session.assignment().sys_of_vec().to_vec();
+        let id = {
+            // Limit check, id allocation and insert are one atomic
+            // step, so concurrent opens can never exceed the cap and
+            // ids are 1, 2, 3, … in insert order.
+            let mut sessions = self.sessions.lock();
+            if sessions.len() >= self.config.max_sessions {
+                return ServiceError::new(
+                    ErrorCode::SessionLimit,
+                    format!("{} sessions already open", sessions.len()),
+                )
+                .into_response();
+            }
+            let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+            sessions.insert(
+                id,
+                Arc::new(Mutex::new(SessionEntry {
+                    session,
+                    events: 0,
+                    closed: false,
+                })),
+            );
+            id
+        };
+        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        Response::SessionOpened {
+            session: id,
+            record,
+            assignment,
+        }
+    }
+
+    /// A [`ErrorCode::SessionLimit`] response if the table is full.
+    fn session_limit_error(&self) -> Option<Response> {
+        let open = self.sessions.lock().len();
+        (open >= self.config.max_sessions).then(|| {
+            ServiceError::new(
+                ErrorCode::SessionLimit,
+                format!("{open} sessions already open"),
+            )
+            .into_response()
+        })
+    }
+
+    fn apply(&self, id: u64, event: &TraceEvent) -> Response {
+        // Hold the table lock only for the lookup: one session's remap
+        // (possibly a full V-cycle) must not block the others.
+        let Some(entry) = self.sessions.lock().get(&id).cloned() else {
+            return ServiceError::new(ErrorCode::UnknownSession, format!("session {id} not open"))
+                .into_response();
+        };
+        let mut entry = entry.lock();
+        if entry.closed {
+            // A racing CloseSession won the entry lock first: the
+            // reported final event count must stay final.
+            return ServiceError::new(ErrorCode::UnknownSession, format!("session {id} not open"))
+                .into_response();
+        }
+        // Invalid events come back as `action = "error"` records with
+        // the session state unchanged — replay semantics, not a
+        // protocol error, so served and replayed streams stay aligned.
+        let record = entry.session.apply(event);
+        entry.events += 1;
+        self.events_applied.fetch_add(1, Ordering::Relaxed);
+        let assignment = entry.session.assignment().sys_of_vec().to_vec();
+        Response::Applied {
+            session: id,
+            record,
+            assignment,
+        }
+    }
+
+    fn close_session(&self, id: u64) -> Response {
+        // Drop the table guard before touching the entry lock, so a
+        // close waiting on an in-flight apply never stalls the table.
+        let removed = self.sessions.lock().remove(&id);
+        match removed {
+            Some(entry) => {
+                // Waits for an in-flight apply to finish, then tombstones
+                // the entry: the reported event count is final (a racing
+                // apply that lost the entry lock answers UnknownSession).
+                let mut entry = entry.lock();
+                entry.closed = true;
+                Response::SessionClosed {
+                    session: id,
+                    events: entry.events,
+                }
+            }
+            None => ServiceError::new(ErrorCode::UnknownSession, format!("session {id} not open"))
+                .into_response(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimd_engine::{AlgorithmSpec, TopologySpec, WorkloadSpec};
+    use mimd_taskgraph::clustering::region::random_region_clustering;
+    use mimd_taskgraph::{ClusteredProblemGraph, GeneratorConfig, LayeredDagGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn torus_header(seed: u64) -> (TraceHeader, ClusteredProblemGraph) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gen = LayeredDagGenerator::new(GeneratorConfig {
+            tasks: 128,
+            ..GeneratorConfig::default()
+        })
+        .unwrap();
+        let problem = gen.generate(&mut rng);
+        let clustering = random_region_clustering(&problem, 64, &mut rng).unwrap();
+        let base = ClusteredProblemGraph::new(problem, clustering).unwrap();
+        let header = TraceHeader {
+            topology: TopologySpec::Torus { rows: 8, cols: 8 },
+            topology_seed: None,
+            snapshot: DynamicWorkload::from_clustered(&base).snapshot(),
+        };
+        (header, base)
+    }
+
+    fn map_once_job(seed: u64) -> JobSpec {
+        JobSpec {
+            id: None,
+            workload: WorkloadSpec::Layered {
+                tasks: 128,
+                width: None,
+            },
+            clustering: None,
+            topology: TopologySpec::Torus { rows: 8, cols: 8 },
+            topology_seed: None,
+            algorithm: AlgorithmSpec::Multilevel {
+                direct_threshold: Some(16),
+                refine_rounds: None,
+                refine_batch: None,
+                refine_threads: None,
+            },
+            seed,
+        }
+    }
+
+    #[test]
+    fn session_lifecycle_allocates_deterministic_ids() {
+        let service = MappingService::default();
+        let (header, _) = torus_header(1);
+        for expected in 1..=3u64 {
+            let response = service.handle(Request::OpenSession {
+                header: header.clone(),
+                seed: expected,
+                config: None,
+            });
+            match response {
+                Response::SessionOpened {
+                    session, record, ..
+                } => {
+                    assert_eq!(session, expected);
+                    assert_eq!(record.index, 0);
+                    assert_eq!(record.action, "full");
+                }
+                other => panic!("expected SessionOpened, got {other:?}"),
+            }
+        }
+        assert_eq!(service.stats().open_sessions, 3);
+
+        let response = service.handle(Request::Apply {
+            session: 2,
+            event: TraceEvent::SetTaskSize { task: 0, size: 5 },
+        });
+        match response {
+            Response::Applied {
+                session,
+                record,
+                assignment,
+            } => {
+                assert_eq!(session, 2);
+                assert_eq!(record.index, 1);
+                assert!(record.error.is_none());
+                assert_eq!(assignment.len(), 64);
+            }
+            other => panic!("expected Applied, got {other:?}"),
+        }
+
+        assert_eq!(
+            service.handle(Request::CloseSession { session: 2 }),
+            Response::SessionClosed {
+                session: 2,
+                events: 1
+            }
+        );
+        // Re-closing or applying to a closed session is an error.
+        assert!(service
+            .handle(Request::CloseSession { session: 2 })
+            .is_error());
+        assert!(service
+            .handle(Request::Apply {
+                session: 2,
+                event: TraceEvent::SetTaskSize { task: 0, size: 5 },
+            })
+            .is_error());
+        // Ids are never reused.
+        match service.handle(Request::OpenSession {
+            header,
+            seed: 9,
+            config: None,
+        }) {
+            Response::SessionOpened { session, .. } => assert_eq!(session, 4),
+            other => panic!("expected SessionOpened, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_session_traffic_is_isolated() {
+        // The table lock is per-lookup only: two sessions served from
+        // two threads make progress independently and end in the same
+        // state a serial run reaches.
+        let service = MappingService::default();
+        let (header, _) = torus_header(8);
+        for _ in 0..2 {
+            assert!(!service
+                .handle(Request::OpenSession {
+                    header: header.clone(),
+                    seed: 8,
+                    config: None,
+                })
+                .is_error());
+        }
+        std::thread::scope(|scope| {
+            for id in [1u64, 2] {
+                let service = &service;
+                scope.spawn(move || {
+                    for step in 0..5u64 {
+                        let response = service.handle(Request::Apply {
+                            session: id,
+                            event: TraceEvent::SetTaskSize {
+                                task: step as usize,
+                                size: step + 2,
+                            },
+                        });
+                        assert!(!response.is_error(), "{response:?}");
+                    }
+                });
+            }
+        });
+        let stats = service.stats();
+        assert_eq!(stats.events_applied, 10);
+        assert_eq!(stats.open_sessions, 2);
+        // Both sessions saw all five of their events.
+        for id in [1u64, 2] {
+            match service.handle(Request::CloseSession { session: id }) {
+                Response::SessionClosed { events, .. } => assert_eq!(events, 5),
+                other => panic!("expected SessionClosed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn session_limit_is_enforced() {
+        let service = MappingService::new(ServiceConfig {
+            max_sessions: 1,
+            ..ServiceConfig::default()
+        });
+        let (header, _) = torus_header(2);
+        assert!(!service
+            .handle(Request::OpenSession {
+                header: header.clone(),
+                seed: 1,
+                config: None,
+            })
+            .is_error());
+        let denied = service.handle(Request::OpenSession {
+            header,
+            seed: 2,
+            config: None,
+        });
+        match denied {
+            Response::Error { error } => assert_eq!(error.code, ErrorCode::SessionLimit),
+            other => panic!("expected session-limit error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_map_once_and_session_traffic_share_the_hierarchy() {
+        let service = MappingService::default();
+        // A multilevel one-shot job builds the torus hierarchy...
+        let response = service.handle(Request::MapOnce {
+            job: map_once_job(3),
+        });
+        assert!(!response.is_error(), "{response:?}");
+        // ...and the session opened on the same machine reuses it.
+        let (header, _) = torus_header(3);
+        let response = service.handle(Request::OpenSession {
+            header,
+            seed: 3,
+            config: None,
+        });
+        assert!(!response.is_error(), "{response:?}");
+        let stats = service.stats();
+        assert_eq!(stats.cache.hierarchy_misses, 1, "{stats:?}");
+        assert!(stats.cache.hierarchy_hits > 0, "{stats:?}");
+        assert_eq!(stats.cache.entries, 1, "one interned torus");
+        assert_eq!(stats.map_once_served, 1);
+        assert_eq!(stats.sessions_opened, 1);
+    }
+
+    #[test]
+    fn invalid_requests_map_to_structured_error_codes() {
+        let service = MappingService::default();
+        // np < ns fails as an invalid job.
+        let mut bad_job = map_once_job(1);
+        bad_job.workload = WorkloadSpec::Fft { log2n: 2 };
+        match service.handle(Request::MapOnce { job: bad_job }) {
+            Response::Error { error } => {
+                assert_eq!(error.code, ErrorCode::InvalidJob);
+                assert!(error.message.contains("np >= ns"), "{}", error.message);
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+        // A bad topology spec.
+        let (mut header, _) = torus_header(4);
+        header.topology = TopologySpec::Ring { n: 0 };
+        match service.handle(Request::OpenSession {
+            header,
+            seed: 1,
+            config: None,
+        }) {
+            Response::Error { error } => assert_eq!(error.code, ErrorCode::Topology),
+            other => panic!("expected error, got {other:?}"),
+        }
+        // A snapshot that mismatches the machine size.
+        let (header, _) = torus_header(5);
+        let mut mismatched = header.clone();
+        mismatched.topology = TopologySpec::Ring { n: 8 };
+        match service.handle(Request::OpenSession {
+            header: mismatched,
+            seed: 1,
+            config: None,
+        }) {
+            Response::Error { error } => assert_eq!(error.code, ErrorCode::Workload),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn catalog_and_stats_answer() {
+        let service = MappingService::default();
+        match service.handle(Request::Catalog) {
+            Response::Catalog { algorithms } => {
+                assert_eq!(algorithms.len(), algorithm_catalog().len());
+                assert!(algorithms.iter().any(|a| a.name == "multilevel"));
+            }
+            other => panic!("expected catalog, got {other:?}"),
+        }
+        match service.handle(Request::Stats) {
+            Response::Stats { stats } => {
+                assert_eq!(stats.open_sessions, 0);
+                assert_eq!(stats.cache.entries, 0);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+}

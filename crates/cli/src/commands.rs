@@ -33,12 +33,15 @@ commands:
   simulate   (--tasks <n> | --workload <kind:params>) --spec <kind:params>
              [--seed <u64>] [--contention] [--serialize]
   batch      <jobs.jsonl | -> [--threads <n>] [--summary] [--out <file>]
+             [--profile] [--profile-json <file|->]
              — run a JSONL stream of JobSpecs through the engine,
-               emitting one JobResult JSONL line per job (stdin with -)
+               emitting one JobResult JSONL line per job (stdin with -);
+               --profile prints the telemetry phase breakdown to stderr
   sweep      --workloads <w1,w2,..> --specs <t1,t2,..>
              [--algos <a1,a2,..>] [--seeds <n>] [--threads <n>]
              [--clustering region|iid|sarkar|comm_greedy]
              [--summary] [--out <file>]
+             [--profile] [--profile-json <file|->]
              — run the cross-product workloads × topologies × algorithms
                × seeds through the engine
   trace      (--tasks <n> | --workload <kind:params>) --spec <kind:params>
@@ -48,15 +51,18 @@ commands:
   replay     --trace <file|-> [--seed <u64>] [--migration-penalty <t>]
              [--staleness <f>] [--local-rounds <n>] [--region-size <n>]
              [--scratch] [--summary] [--out <file>]
+             [--profile] [--profile-json <file|->]
              — replay a trace through the incremental remapper, one
                JSONL record per event (--scratch forces a full V-cycle
-               per event for comparison)
-  serve      [--max-sessions <n>]
+               per event for comparison); --profile prints phase timing
+               to stderr, never touching the stdout record stream
+  serve      [--max-sessions <n>] [--telemetry]
              — long-running MappingService loop: one JSONL Request per
                stdin line (map_once | open_session | apply |
                close_session | catalog | stats), one JSONL Response per
                stdout line; sessions share topology artifacts with
-               one-shot jobs through one cache
+               one-shot jobs through one cache; --telemetry records
+               spans/counters served back by the stats op
   algorithms (no flags) — list every registry algorithm with a
                one-line description
   paper      (no flags) — reproduce the worked example's artifacts
@@ -448,6 +454,8 @@ fn cmd_replay(flags: &Flags) -> Result<(), String> {
         "scratch",
         "summary",
         "out",
+        "profile",
+        "profile-json",
     ])?;
     if flags.has("scratch") && flags.has("staleness") {
         return Err(
@@ -482,7 +490,10 @@ fn cmd_replay(flags: &Flags) -> Result<(), String> {
     // Replay through the unified MappingService: topology artifacts
     // come from its shared cache, so replay and any co-resident
     // batch/session traffic share the hierarchy (and its counters).
-    let service = mimd_service::MappingService::default();
+    let service = mimd_service::MappingService::new(mimd_service::ServiceConfig {
+        telemetry: profiling(flags)?,
+        ..mimd_service::ServiceConfig::default()
+    });
 
     let mut sink: Box<dyn Write> = match flags.get("out") {
         Some(path) => Box::new(std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?),
@@ -536,6 +547,7 @@ fn cmd_replay(flags: &Flags) -> Result<(), String> {
         ]);
         eprintln!("{}", table.render());
     }
+    emit_profile(&service, flags)?;
     Ok(())
 }
 
@@ -546,10 +558,11 @@ fn cmd_replay(flags: &Flags) -> Result<(), String> {
 /// traffic through one cache; per-session seeding is deterministic, so
 /// a served trace is byte-identical to `mimd replay` on the same trace.
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
-    flags.allow_only(&["max-sessions"])?;
+    flags.allow_only(&["max-sessions", "telemetry"])?;
     let defaults = mimd_service::ServiceConfig::default();
     let service = mimd_service::MappingService::new(mimd_service::ServiceConfig {
         max_sessions: flags.num("max-sessions", defaults.max_sessions)?,
+        telemetry: flags.has("telemetry"),
         ..defaults
     });
     let summary = match mimd_service::serve_jsonl(
@@ -569,6 +582,9 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         summary.errors,
         serde_json::to_string(&stats).map_err(|e| e.to_string())?,
     );
+    if flags.has("telemetry") {
+        eprint!("{}", mimd_report::render_profile(&stats.telemetry));
+    }
     Ok(())
 }
 
@@ -633,6 +649,34 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `true` iff a profiling flag asked for telemetry collection; rejects
+/// a valueless `--profile-json` up front, before any work runs.
+fn profiling(flags: &Flags) -> Result<bool, String> {
+    if flags.has("profile-json") && flags.get("profile-json").is_none() {
+        return Err("--profile-json needs a file path ('-' for stderr)".into());
+    }
+    Ok(flags.has("profile") || flags.has("profile-json"))
+}
+
+/// Shared tail of `--profile` / `--profile-json`: print the phase
+/// breakdown to stderr and/or dump the raw snapshot as JSON (stderr
+/// with `-`). Stdout stays reserved for the command's record stream.
+fn emit_profile(service: &mimd_service::MappingService, flags: &Flags) -> Result<(), String> {
+    let snapshot = service.recorder().snapshot();
+    if flags.has("profile") {
+        eprint!("{}", mimd_report::render_profile(&snapshot));
+    }
+    if let Some(path) = flags.get("profile-json") {
+        let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
+        if path == "-" {
+            eprintln!("{json}");
+        } else {
+            std::fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
 /// Shared tail of `batch` and `sweep`, a thin client of the unified
 /// [`mimd_service::MappingService`]: run the jobs, stream JSONL
 /// results (to stdout or `--out`), and optionally print the aggregate
@@ -653,6 +697,7 @@ fn run_jobs_and_emit(
             threads,
             ..mimd_engine::EngineConfig::default()
         },
+        telemetry: profiling(flags)?,
         ..mimd_service::ServiceConfig::default()
     });
 
@@ -719,6 +764,7 @@ fn run_jobs_and_emit(
             summary.render_table(format!("{what} summary")).render()
         );
     }
+    emit_profile(&service, flags)?;
     match input_error {
         Some(e) => Err(e),
         None => Ok(()),
@@ -726,7 +772,7 @@ fn run_jobs_and_emit(
 }
 
 fn cmd_batch(input: &str, flags: &Flags) -> Result<(), String> {
-    flags.allow_only(&["threads", "summary", "out"])?;
+    flags.allow_only(&["threads", "summary", "out", "profile", "profile-json"])?;
     if input == "-" {
         run_jobs_and_emit(
             mimd_engine::job_lines(std::io::stdin().lock()),
@@ -753,6 +799,8 @@ fn cmd_sweep(flags: &Flags) -> Result<(), String> {
         "threads",
         "summary",
         "out",
+        "profile",
+        "profile-json",
     ])?;
     let parse_list = |name: &str| -> Result<Vec<String>, String> {
         let raw = flags
@@ -1027,6 +1075,31 @@ mod tests {
         .unwrap();
         let text = std::fs::read_to_string(&out2).unwrap();
         assert_eq!(text.lines().count(), 2 * 2 * 2);
+
+        // --profile/--profile-json collect telemetry without touching
+        // the result stream.
+        let out3 = dir.join("profiled.jsonl");
+        let prof = dir.join("profile.json");
+        run(&[
+            "batch",
+            jobs.to_str().unwrap(),
+            "--out",
+            out3.to_str().unwrap(),
+            "--profile",
+            "--profile-json",
+            prof.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&out3).unwrap().lines().count(),
+            2,
+            "profiling leaves the JSONL stream intact"
+        );
+        let profile = std::fs::read_to_string(&prof).unwrap();
+        assert!(profile.contains("engine.jobs"), "{profile}");
+        assert!(profile.contains("engine.queue_wait"), "{profile}");
+        // A valueless --profile-json is rejected before any work runs.
+        assert!(run(&["batch", jobs.to_str().unwrap(), "--profile-json"]).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1095,6 +1168,32 @@ mod tests {
             let record = mimd_online::ReplayRecord::from_json_line(line).unwrap();
             assert_eq!(record.action, "full");
         }
+
+        // --profile records telemetry without changing a single record
+        // byte: the profiled run's output matches the plain run's.
+        let profiled = dir.join("profiled.jsonl");
+        let prof = dir.join("profile.json");
+        run(&[
+            "replay",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--seed",
+            "5",
+            "--out",
+            profiled.to_str().unwrap(),
+            "--profile",
+            "--profile-json",
+            prof.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&profiled).unwrap(),
+            std::fs::read_to_string(&records).unwrap(),
+            "telemetry never changes replay output"
+        );
+        let profile = std::fs::read_to_string(&prof).unwrap();
+        assert!(profile.contains("\"online.events\": 25"), "{profile}");
+        assert!(profile.contains("online.region_refine"), "{profile}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -5,12 +5,16 @@
 //! naive serial throughput on a 100-job batch (10 workloads × 10 seeds
 //! on one 16-node hypercube).
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use mimd_engine::{
     execute_job, AlgorithmSpec, Engine, EngineConfig, JobSpec, TopologyCache, TopologySpec,
     WorkloadSpec,
 };
+use mimd_telemetry::Recorder;
 
 /// 10 workloads × 10 seeds on one 16-node hypercube = 100 jobs.
 fn batch_100() -> Vec<JobSpec> {
@@ -139,5 +143,74 @@ fn bench_cache_amortization(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batch_throughput, bench_cache_amortization);
+/// Recorder overhead: the 100-job batch on one thread with a no-op
+/// recorder vs an enabled one. The enabled recorder pays one counter
+/// bump, one queue-wait sample, one job span, and a few cache-lookup
+/// spans per job — the acceptance target is < 2% over the no-op run.
+///
+/// Besides the criterion group, this writes `BENCH_telemetry.json` at
+/// the workspace root (best-of-N wall times + relative overhead); the
+/// in-tree criterion stub has no file output of its own.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let jobs = batch_100();
+    let run = |recorder: &Recorder| {
+        let engine = Engine::with_telemetry(
+            EngineConfig {
+                threads: 1,
+                ..EngineConfig::default()
+            },
+            Arc::new(TopologyCache::new()),
+            recorder.clone(),
+        );
+        let results = engine.run_batch(&jobs);
+        assert!(results.iter().all(|r| r.error.is_none()));
+        results.len()
+    };
+
+    const REPS: usize = 10;
+    let once = |recorder: &Recorder| {
+        let start = Instant::now();
+        run(recorder);
+        start.elapsed().as_nanos() as u64
+    };
+    run(&Recorder::disabled()); // warm-up
+
+    // Interleave the two arms so clock drift and cache state hit both
+    // equally; best-of-REPS filters scheduler noise.
+    let mut disabled_ns = u64::MAX;
+    let mut enabled_ns = u64::MAX;
+    for _ in 0..REPS {
+        disabled_ns = disabled_ns.min(once(&Recorder::disabled()));
+        enabled_ns = enabled_ns.min(once(&Recorder::enabled()));
+    }
+    let overhead = enabled_ns as f64 / disabled_ns as f64 - 1.0;
+    let json = format!(
+        "{{\n  \"bench\": \"engine_batch_100jobs_hypercube16\",\n  \
+         \"threads\": 1,\n  \"reps\": {REPS},\n  \
+         \"disabled_ns\": {disabled_ns},\n  \"enabled_ns\": {enabled_ns},\n  \
+         \"overhead_percent\": {:.3}\n}}\n",
+        overhead * 100.0
+    );
+    std::fs::write(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json"),
+        json,
+    )
+    .expect("write BENCH_telemetry.json");
+
+    let mut group = c.benchmark_group("engine_telemetry_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(jobs.len() as u64));
+    group.bench_function("recorder_disabled", |b| {
+        b.iter(|| run(&Recorder::disabled()))
+    });
+    group.bench_function("recorder_enabled", |b| b.iter(|| run(&Recorder::enabled())));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_throughput,
+    bench_cache_amortization,
+    bench_telemetry_overhead
+);
 criterion_main!(benches);

@@ -9,6 +9,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -16,6 +17,7 @@ use rand::SeedableRng;
 
 use mimd_core::IdealSchedule;
 use mimd_taskgraph::ClusteredProblemGraph;
+use mimd_telemetry::Recorder;
 
 use crate::cache::{CacheStats, TopologyCache};
 use crate::registry;
@@ -84,6 +86,7 @@ pub struct Engine {
     config: EngineConfig,
     cache: Arc<TopologyCache>,
     cancel: CancelToken,
+    recorder: Recorder,
 }
 
 impl Default for Engine {
@@ -100,16 +103,37 @@ impl Engine {
 
     /// Engine sharing an existing topology cache (e.g. across batches).
     pub fn with_cache(config: EngineConfig, cache: Arc<TopologyCache>) -> Self {
+        Engine::with_telemetry(config, cache, Recorder::default())
+    }
+
+    /// Engine sharing a topology cache and a telemetry recorder. When
+    /// the recorder is enabled, every job records `engine.jobs`, a
+    /// queue-wait histogram (`engine.queue_wait`: batch submission to
+    /// job start), a run-time histogram (`engine.job`), cache-lookup
+    /// spans (`engine.cache_lookup`), and whatever the instrumented
+    /// algorithms emit (`vcycle.*`, `online.*`). Results are unaffected.
+    pub fn with_telemetry(
+        config: EngineConfig,
+        cache: Arc<TopologyCache>,
+        recorder: Recorder,
+    ) -> Self {
         Engine {
             config,
             cache,
             cancel: CancelToken::new(),
+            recorder,
         }
     }
 
     /// The shared topology cache.
     pub fn cache(&self) -> &TopologyCache {
         &self.cache
+    }
+
+    /// The engine's telemetry recorder (disabled unless constructed
+    /// via [`Engine::with_telemetry`] with an enabled one).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Topology-cache statistics for this engine.
@@ -160,10 +184,12 @@ impl Engine {
         let next = AtomicUsize::new(0);
         let results: Vec<Mutex<Option<JobResult>>> =
             specs.iter().map(|_| Mutex::new(None)).collect();
+        let batch_start = Instant::now();
 
         if threads <= 1 {
             for (offset, spec) in specs.iter().enumerate() {
-                *results[offset].lock() = Some(self.execute_or_cancel(spec, base_index + offset));
+                *results[offset].lock() =
+                    Some(self.execute_or_cancel(spec, base_index + offset, batch_start));
             }
         } else {
             std::thread::scope(|scope| {
@@ -173,7 +199,11 @@ impl Engine {
                         if offset >= specs.len() {
                             break;
                         }
-                        let result = self.execute_or_cancel(&specs[offset], base_index + offset);
+                        let result = self.execute_or_cancel(
+                            &specs[offset],
+                            base_index + offset,
+                            batch_start,
+                        );
                         *results[offset].lock() = Some(result);
                     });
                 }
@@ -186,11 +216,19 @@ impl Engine {
             .collect()
     }
 
-    fn execute_or_cancel(&self, spec: &JobSpec, index: usize) -> JobResult {
+    fn execute_or_cancel(&self, spec: &JobSpec, index: usize, batch_start: Instant) -> JobResult {
         if self.cancel.is_cancelled() {
             return JobResult::failed(spec, index, "cancelled".to_string());
         }
-        execute_job(spec, index, &self.cache)
+        if !self.recorder.is_enabled() {
+            return execute_job(spec, index, &self.cache);
+        }
+        self.recorder.incr("engine.jobs");
+        // Time from batch submission to this job leaving the queue.
+        self.recorder
+            .record_duration("engine.queue_wait", batch_start.elapsed());
+        let _span = self.recorder.span("engine.job");
+        execute_job_recorded(spec, index, &self.cache, &self.recorder)
     }
 }
 
@@ -198,7 +236,20 @@ impl Engine {
 /// code path for batch, stream and any embedding caller; it never
 /// panics on bad specs — failures come back as error results.
 pub fn execute_job(spec: &JobSpec, index: usize, cache: &TopologyCache) -> JobResult {
-    match try_execute(spec, cache) {
+    execute_job_recorded(spec, index, cache, &Recorder::default())
+}
+
+/// [`execute_job`] with a telemetry recorder: cache lookups are timed
+/// under `engine.cache_lookup` and instrumented algorithms record their
+/// own series. A disabled recorder makes this identical to
+/// [`execute_job`]; the result never depends on the recorder.
+pub fn execute_job_recorded(
+    spec: &JobSpec,
+    index: usize,
+    cache: &TopologyCache,
+    recorder: &Recorder,
+) -> JobResult {
+    match try_execute(spec, cache, recorder) {
         Ok(mut result) => {
             result.index = index;
             if result.id.is_empty() {
@@ -210,9 +261,15 @@ pub fn execute_job(spec: &JobSpec, index: usize, cache: &TopologyCache) -> JobRe
     }
 }
 
-fn try_execute(spec: &JobSpec, cache: &TopologyCache) -> Result<JobResult, String> {
-    let artifacts = cache
-        .get_or_build(&spec.topology, spec.topology_seed())
+fn try_execute(
+    spec: &JobSpec,
+    cache: &TopologyCache,
+    recorder: &Recorder,
+) -> Result<JobResult, String> {
+    let artifacts = recorder
+        .time("engine.cache_lookup", || {
+            cache.get_or_build(&spec.topology, spec.topology_seed())
+        })
         .map_err(|e| format!("topology: {e}"))?;
     let system = &artifacts.system;
     let ns = system.len();
@@ -246,18 +303,18 @@ fn try_execute(spec: &JobSpec, cache: &TopologyCache) -> Result<JobResult, Strin
         AlgorithmSpec::Multilevel {
             direct_threshold, ..
         } if ns > direct_threshold.unwrap_or_else(default_direct_threshold) => Some(
-            cache
-                .system_hierarchy(&artifacts)
+            recorder
+                .time("engine.cache_lookup", || cache.system_hierarchy(&artifacts))
                 .map_err(|e| format!("hierarchy: {e}"))?,
         ),
         AlgorithmSpec::Incremental { .. } => Some(
-            cache
-                .system_hierarchy(&artifacts)
+            recorder
+                .time("engine.cache_lookup", || cache.system_hierarchy(&artifacts))
                 .map_err(|e| format!("hierarchy: {e}"))?,
         ),
         _ => None,
     };
-    let algorithm = registry::instantiate_cached(&spec.algorithm, ns, hierarchy);
+    let algorithm = registry::instantiate_telemetry(&spec.algorithm, ns, hierarchy, recorder);
     let outcome = algorithm
         .run(&graph, system, lower_bound, &mut rng)
         .map_err(|e| format!("{}: {e}", algorithm.name()))?;

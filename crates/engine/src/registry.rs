@@ -22,6 +22,7 @@ use mimd_graph::Time;
 use mimd_multilevel::{MultilevelConfig, MultilevelMapper, SystemHierarchy};
 use mimd_online::{DynamicWorkload, IncrementalMapper, OnlineConfig};
 use mimd_taskgraph::ClusteredProblemGraph;
+use mimd_telemetry::Recorder;
 use mimd_topology::SystemGraph;
 
 use crate::spec::AlgorithmSpec;
@@ -65,6 +66,8 @@ pub struct MultilevelStrategy {
     pub config: MultilevelConfig,
     /// Shared system-side hierarchy; `None` builds one per run.
     pub hierarchy: Option<Arc<SystemHierarchy>>,
+    /// Telemetry sink handed to the V-cycle (no-op by default).
+    pub recorder: Recorder,
 }
 
 impl MappingAlgorithm for MultilevelStrategy {
@@ -79,7 +82,8 @@ impl MappingAlgorithm for MultilevelStrategy {
         _lower_bound: Time,
         rng: &mut StdRng,
     ) -> Result<AlgorithmOutcome, GraphError> {
-        let mapper = MultilevelMapper::with_config(self.config.clone());
+        let mapper =
+            MultilevelMapper::with_config(self.config.clone()).with_recorder(self.recorder.clone());
         let result = match &self.hierarchy {
             // Small machines take the direct path either way; only use
             // the shared hierarchy when it actually matches the target.
@@ -106,6 +110,8 @@ pub struct IncrementalStrategy {
     pub config: OnlineConfig,
     /// Shared system-side hierarchy; `None` builds one per run.
     pub hierarchy: Option<Arc<SystemHierarchy>>,
+    /// Telemetry sink handed to the session (no-op by default).
+    pub recorder: Recorder,
 }
 
 impl MappingAlgorithm for IncrementalStrategy {
@@ -125,11 +131,9 @@ impl MappingAlgorithm for IncrementalStrategy {
             _ => Arc::new(SystemHierarchy::build(system)?),
         };
         let seed = rng.next_u64();
-        let (session, record) = IncrementalMapper::with_config(self.config.clone()).begin(
-            DynamicWorkload::from_clustered(graph),
-            hierarchy,
-            seed,
-        )?;
+        let (session, record) = IncrementalMapper::with_config(self.config.clone())
+            .with_recorder(self.recorder.clone())
+            .begin(DynamicWorkload::from_clustered(graph), hierarchy, seed)?;
         Ok(AlgorithmOutcome {
             assignment: session.assignment().clone(),
             total: record.total_time,
@@ -178,6 +182,20 @@ pub fn instantiate_cached(
     ns: usize,
     hierarchy: Option<Arc<SystemHierarchy>>,
 ) -> Box<dyn MappingAlgorithm> {
+    instantiate_telemetry(spec, ns, hierarchy, &Recorder::default())
+}
+
+/// Like [`instantiate_cached`], additionally attaching a telemetry
+/// recorder to instrumented algorithms (multilevel, incremental). The
+/// flat baselines run unrecorded — their cost is visible as the whole
+/// job span. A disabled recorder makes this identical to
+/// [`instantiate_cached`].
+pub fn instantiate_telemetry(
+    spec: &AlgorithmSpec,
+    ns: usize,
+    hierarchy: Option<Arc<SystemHierarchy>>,
+    recorder: &Recorder,
+) -> Box<dyn MappingAlgorithm> {
     match *spec {
         AlgorithmSpec::Paper { refine_iterations } => Box::new(PaperStrategy {
             config: MapperConfig {
@@ -211,6 +229,7 @@ pub fn instantiate_cached(
                 refine_threads,
             ),
             hierarchy,
+            recorder: recorder.clone(),
         }),
         AlgorithmSpec::Incremental {
             migration_penalty,
@@ -229,6 +248,7 @@ pub fn instantiate_cached(
                     multilevel: defaults.multilevel,
                 },
                 hierarchy,
+                recorder: recorder.clone(),
             })
         }
     }

@@ -8,6 +8,7 @@ use mimd_core::{Assignment, IdealSchedule, Mapper, MapperConfig};
 use mimd_graph::error::GraphError;
 use mimd_graph::Time;
 use mimd_taskgraph::{ClusterId, ClusteredProblemGraph};
+use mimd_telemetry::Recorder;
 use mimd_topology::SystemGraph;
 
 use crate::hierarchy::{Coarsening, Hierarchy, SystemHierarchy};
@@ -81,6 +82,10 @@ impl MultilevelResult {
 #[derive(Clone, Debug, Default)]
 pub struct MultilevelMapper {
     config: MultilevelConfig,
+    /// Telemetry sink for V-cycle phase spans; disabled (no-op) unless
+    /// a caller attaches a live recorder. Not part of the serde config:
+    /// recorders are process-local handles, not tuning knobs.
+    recorder: Recorder,
 }
 
 impl MultilevelMapper {
@@ -91,7 +96,19 @@ impl MultilevelMapper {
 
     /// Mapper with a custom configuration.
     pub fn with_config(config: MultilevelConfig) -> Self {
-        MultilevelMapper { config }
+        MultilevelMapper {
+            config,
+            recorder: Recorder::default(),
+        }
+    }
+
+    /// Attach a telemetry recorder: V-cycle runs record per-phase spans
+    /// (`vcycle.coarsen`, `vcycle.initial_map`, `vcycle.prolong`,
+    /// `vcycle.refine`) and the structural counters `vcycle.runs` /
+    /// `vcycle.levels` into it. Recording never changes results.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The active configuration.
@@ -147,9 +164,15 @@ impl MultilevelMapper {
         }
         let lower_bound = IdealSchedule::derive(graph).lower_bound();
         let flat = Mapper::with_config(self.config.mapper.clone());
-        let hierarchy = Hierarchy::from_system_hierarchy(graph, sys, self.config.direct_threshold)?;
+        let hierarchy = self.recorder.time("vcycle.coarsen", || {
+            Hierarchy::from_system_hierarchy(graph, sys, self.config.direct_threshold)
+        })?;
+        self.recorder.incr("vcycle.runs");
+        self.recorder.add("vcycle.levels", hierarchy.depth() as u64);
         let top = hierarchy.top();
-        let top_result = flat.map(&top.graph, &top.system, rng)?;
+        let top_result = self.recorder.time("vcycle.initial_map", || {
+            flat.map(&top.graph, &top.system, rng)
+        })?;
         let mut assignment = top_result.assignment;
         let mut evaluations = top_result.refinement.iterations_used;
         let mut improvements = 0;
@@ -157,7 +180,9 @@ impl MultilevelMapper {
         for k in (0..hierarchy.coarsenings().len()).rev() {
             let level = &hierarchy.levels()[k];
             let coarsening = &hierarchy.coarsenings()[k];
-            assignment = prolong(coarsening, &assignment, &level.system)?;
+            assignment = self.recorder.time("vcycle.prolong", || {
+                prolong(coarsening, &assignment, &level.system)
+            })?;
             let config = LocalRefineConfig {
                 // Level 0 is the input graph, whose bound is in hand —
                 // don't re-derive the ideal schedule of the largest level.
@@ -171,14 +196,16 @@ impl MultilevelMapper {
                 threads: self.config.refine_threads,
                 model: self.config.mapper.model,
             };
-            let out = refine_within_groups(
-                &level.graph,
-                &level.system,
-                coarsening.groups(),
-                &assignment,
-                &config,
-                rng,
-            )?;
+            let out = self.recorder.time("vcycle.refine", || {
+                refine_within_groups(
+                    &level.graph,
+                    &level.system,
+                    coarsening.groups(),
+                    &assignment,
+                    &config,
+                    rng,
+                )
+            })?;
             assignment = out.assignment;
             evaluations += out.rounds_used;
             improvements += out.improvements;
@@ -206,9 +233,13 @@ impl MultilevelMapper {
         system: &SystemGraph,
         rng: &mut impl Rng,
     ) -> Result<MultilevelResult, GraphError> {
+        self.recorder.incr("vcycle.runs");
+        self.recorder.add("vcycle.levels", 1);
         let lower_bound = IdealSchedule::derive(graph).lower_bound();
         let flat = Mapper::with_config(self.config.mapper.clone());
-        let result = flat.map(graph, system, rng)?;
+        let result = self
+            .recorder
+            .time("vcycle.initial_map", || flat.map(graph, system, rng))?;
         Ok(MultilevelResult {
             reached_lower_bound: result.total_time == lower_bound,
             assignment: result.assignment,

@@ -31,6 +31,7 @@ use mimd_graph::error::GraphError;
 use mimd_graph::{NodeId, Time};
 use mimd_multilevel::{MultilevelConfig, MultilevelMapper, SystemHierarchy};
 use mimd_taskgraph::{ClusterId, DynamicWorkload, TraceEvent};
+use mimd_telemetry::Recorder;
 
 use crate::bounds::IncrementalBound;
 use crate::refine::{count_moves, refine_with_migration, MigrationRefineConfig};
@@ -72,6 +73,9 @@ impl Default for OnlineConfig {
 #[derive(Clone, Debug, Default)]
 pub struct IncrementalMapper {
     config: OnlineConfig,
+    /// Telemetry sink passed down to sessions (and to the V-cycles they
+    /// run); disabled (no-op) unless a caller attaches a live recorder.
+    recorder: Recorder,
 }
 
 impl IncrementalMapper {
@@ -82,7 +86,22 @@ impl IncrementalMapper {
 
     /// Mapper with a custom configuration.
     pub fn with_config(config: OnlineConfig) -> Self {
-        IncrementalMapper { config }
+        IncrementalMapper {
+            config,
+            recorder: Recorder::default(),
+        }
+    }
+
+    /// Attach a telemetry recorder: sessions started by this mapper
+    /// record the structural counters `online.events`,
+    /// `online.incremental`, `online.fallbacks`, `online.errors` and
+    /// `online.migrations`, plus latency spans `online.initial_map`,
+    /// `online.region_refine` and `online.full_vcycle` (and, through
+    /// the embedded V-cycle, the `vcycle.*` series). Recording never
+    /// changes results.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The active configuration.
@@ -109,8 +128,11 @@ impl IncrementalMapper {
         let graph = workload.materialize()?;
         let bound = IncrementalBound::new(&workload);
         let mut rng = StdRng::seed_from_u64(seed);
-        let result = MultilevelMapper::with_config(self.config.multilevel.clone())
-            .map_with_hierarchy(&graph, &hierarchy, &mut rng)?;
+        let vcycle = MultilevelMapper::with_config(self.config.multilevel.clone())
+            .with_recorder(self.recorder.clone());
+        let result = self.recorder.time("online.initial_map", || {
+            vcycle.map_with_hierarchy(&graph, &hierarchy, &mut rng)
+        })?;
         debug_assert_eq!(bound.lower_bound(), result.lower_bound);
         let record = ReplayRecord {
             index: 0,
@@ -128,6 +150,7 @@ impl IncrementalMapper {
         };
         let session = OnlineSession {
             config: self.config.clone(),
+            recorder: self.recorder.clone(),
             hierarchy,
             workload,
             bound,
@@ -146,6 +169,7 @@ impl IncrementalMapper {
 /// assignment, the drift meter and the shared system hierarchy.
 pub struct OnlineSession {
     config: OnlineConfig,
+    recorder: Recorder,
     hierarchy: Arc<SystemHierarchy>,
     workload: DynamicWorkload,
     /// Delta-maintained ideal-schedule lower bound (kept exactly equal
@@ -182,23 +206,27 @@ impl OnlineSession {
     /// record with the state unchanged.
     pub fn apply(&mut self, event: &TraceEvent) -> ReplayRecord {
         self.events_applied += 1;
+        self.recorder.incr("online.events");
         let index = self.events_applied;
         match self.try_apply(event) {
             Ok(record) => record,
-            Err(e) => ReplayRecord {
-                index,
-                kind: event.kind().into(),
-                action: "error".into(),
-                np: self.workload.num_tasks(),
-                ns: self.hierarchy.finest().len(),
-                lower_bound: self.last_lower_bound,
-                total_time: self.last_total,
-                percent_over_lower_bound: percent_over(self.last_total, self.last_lower_bound),
-                moves: 0,
-                evaluations: 0,
-                drift: self.drift,
-                error: Some(e.to_string()),
-            },
+            Err(e) => {
+                self.recorder.incr("online.errors");
+                ReplayRecord {
+                    index,
+                    kind: event.kind().into(),
+                    action: "error".into(),
+                    np: self.workload.num_tasks(),
+                    ns: self.hierarchy.finest().len(),
+                    lower_bound: self.last_lower_bound,
+                    total_time: self.last_total,
+                    percent_over_lower_bound: percent_over(self.last_total, self.last_lower_bound),
+                    moves: 0,
+                    evaluations: 0,
+                    drift: self.drift,
+                    error: Some(e.to_string()),
+                }
+            }
         }
     }
 
@@ -213,10 +241,17 @@ impl OnlineSession {
 
         let lower_bound = self.bound.lower_bound();
         let stale = impact.global || self.drift >= self.config.staleness_threshold;
+        // A local handle keeps the timing closures free to borrow the
+        // rest of `self` mutably.
+        let recorder = self.recorder.clone();
         let (action, moves, evaluations) = if stale {
+            recorder.incr("online.fallbacks");
             let previous = self.assignment.clone();
-            let result = MultilevelMapper::with_config(self.config.multilevel.clone())
-                .map_with_hierarchy(&graph, &self.hierarchy, &mut self.rng)?;
+            let vcycle = MultilevelMapper::with_config(self.config.multilevel.clone())
+                .with_recorder(recorder.clone());
+            let result = recorder.time("online.full_vcycle", || {
+                vcycle.map_with_hierarchy(&graph, &self.hierarchy, &mut self.rng)
+            })?;
             self.assignment = result.assignment;
             self.last_total = result.total_time;
             self.drift = 0.0;
@@ -226,6 +261,7 @@ impl OnlineSession {
                 result.evaluations,
             )
         } else {
+            recorder.incr("online.incremental");
             let regions = self.regions_for(&impact.touched_clusters);
             let config = MigrationRefineConfig {
                 rounds: self.config.local_rounds,
@@ -235,19 +271,22 @@ impl OnlineSession {
                 model: self.config.multilevel.mapper.model,
                 lower_bound,
             };
-            let out = refine_with_migration(
-                &graph,
-                self.hierarchy.finest(),
-                &regions,
-                &self.assignment,
-                &self.assignment,
-                &config,
-                &mut self.rng,
-            )?;
+            let out = recorder.time("online.region_refine", || {
+                refine_with_migration(
+                    &graph,
+                    self.hierarchy.finest(),
+                    &regions,
+                    &self.assignment,
+                    &self.assignment,
+                    &config,
+                    &mut self.rng,
+                )
+            })?;
             self.assignment = out.assignment;
             self.last_total = out.total;
             ("incremental", out.moves, out.rounds_used)
         };
+        recorder.add("online.migrations", moves as u64);
         self.last_lower_bound = lower_bound;
         Ok(ReplayRecord {
             index: self.events_applied,

@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use mimd_multilevel::SystemHierarchy;
 use mimd_taskgraph::{DynamicWorkload, TraceEvent, WorkloadSnapshot};
+use mimd_telemetry::Recorder;
 use mimd_topology::TopologySpec;
 
 use crate::mapper::{IncrementalMapper, OnlineConfig};
@@ -174,6 +175,31 @@ pub fn replay_trace(
     config: &OnlineConfig,
     hierarchy: Option<Arc<SystemHierarchy>>,
     seed: u64,
+    sink: impl FnMut(&ReplayRecord),
+) -> Result<ReplaySummary, String> {
+    replay_trace_recorded(
+        header,
+        events,
+        config,
+        hierarchy,
+        seed,
+        &Recorder::default(),
+        sink,
+    )
+}
+
+/// [`replay_trace`] with a telemetry recorder attached to the session:
+/// the replay records `online.*` counters and spans (and the `vcycle.*`
+/// series of every full remap) into it. A disabled recorder makes this
+/// identical to [`replay_trace`]; the emitted records never depend on
+/// the recorder either way.
+pub fn replay_trace_recorded(
+    header: &TraceHeader,
+    events: &[TraceEvent],
+    config: &OnlineConfig,
+    hierarchy: Option<Arc<SystemHierarchy>>,
+    seed: u64,
+    recorder: &Recorder,
     mut sink: impl FnMut(&ReplayRecord),
 ) -> Result<ReplaySummary, String> {
     let hierarchy = match hierarchy {
@@ -186,6 +212,7 @@ pub fn replay_trace(
     };
     let workload = DynamicWorkload::from_snapshot(&header.snapshot).map_err(|e| e.to_string())?;
     let (mut session, init) = IncrementalMapper::with_config(config.clone())
+        .with_recorder(recorder.clone())
         .begin(workload, hierarchy, seed)
         .map_err(|e| e.to_string())?;
     sink(&init);

@@ -112,6 +112,70 @@ impl Histogram {
     }
 }
 
+/// A horizontal bucket-count bar chart: one labelled row per bucket,
+/// bars scaled to the largest count. Used by the telemetry `--profile`
+/// output to print latency histograms; unlike [`Histogram`] (the
+/// paper's two-ended columns) this is a plain frequency chart.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BucketChart {
+    title: String,
+    /// `(label, count)` per bucket, in display order.
+    rows: Vec<(String, u64)>,
+}
+
+impl BucketChart {
+    /// New chart with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        BucketChart {
+            title: title.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a labelled bucket.
+    pub fn push(&mut self, label: impl Into<String>, count: u64) {
+        self.rows.push((label.into(), count));
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff there are no buckets.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with bars at most `width` characters wide (proportional
+    /// to the largest count; any non-zero count paints at least one
+    /// mark).
+    pub fn render(&self, width: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        if self.rows.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let label_width = self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let peak = self.rows.iter().map(|&(_, c)| c).max().unwrap_or(0).max(1);
+        let width = width.max(1);
+        for (label, count) in &self.rows {
+            let bar = if *count == 0 {
+                0
+            } else {
+                ((count * width as u64).div_ceil(peak) as usize).min(width)
+            };
+            out.push_str(&format!(
+                "  {label:<label_width$}  {count:>8}  {}\n",
+                "#".repeat(bar)
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +210,24 @@ mod tests {
         let h = Histogram::new("empty");
         assert!(h.is_empty());
         assert!(h.render(10).contains("(no data)"));
+    }
+
+    #[test]
+    fn bucket_chart_scales_bars_to_the_peak() {
+        let mut chart = BucketChart::new("latency");
+        chart.push("[1us, 2us)", 40);
+        chart.push("[2us, 4us)", 10);
+        chart.push("[4us, 8us)", 0);
+        chart.push("[8us, 16us)", 1);
+        assert_eq!(chart.len(), 4);
+        let r = chart.render(40);
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[0], "latency");
+        let bar_len = |line: &str| line.chars().filter(|&c| c == '#').count();
+        assert_eq!(bar_len(lines[1]), 40, "{r}");
+        assert_eq!(bar_len(lines[2]), 10, "{r}");
+        assert_eq!(bar_len(lines[3]), 0, "{r}");
+        assert_eq!(bar_len(lines[4]), 1, "non-zero counts always paint");
+        assert!(BucketChart::new("e").render(10).contains("(no data)"));
     }
 }

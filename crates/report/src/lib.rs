@@ -5,7 +5,8 @@
 //! mappings, plus the improvement; Figs 25–27 plot the same data as
 //! dashed-line histograms. [`table`] and [`histogram`] regenerate both
 //! forms; [`stats`] provides the aggregates; [`records`] serializes raw
-//! experiment rows to JSON for machine-readable archival.
+//! experiment rows to JSON for machine-readable archival; [`profile`]
+//! renders telemetry snapshots as the `--profile` phase breakdown.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -13,13 +14,15 @@
 pub mod batch;
 pub mod gantt;
 pub mod histogram;
+pub mod profile;
 pub mod records;
 pub mod stats;
 pub mod table;
 
 pub use batch::BatchSummary;
 pub use gantt::{Gantt, GanttTask};
-pub use histogram::Histogram;
+pub use histogram::{BucketChart, Histogram};
+pub use profile::render_profile;
 pub use records::ExperimentRecord;
 pub use stats::Summary;
 pub use table::Table;

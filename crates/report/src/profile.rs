@@ -1,0 +1,121 @@
+//! Rendering a [`TelemetrySnapshot`] as the `--profile` phase
+//! breakdown: a counter table, a per-phase timing table, and one
+//! [`BucketChart`] per latency histogram.
+//!
+//! Counters are deterministic for a fixed input; every timing column is
+//! wall-clock and varies run to run — the renderer exists for humans on
+//! stderr, never for byte-compared output.
+
+use mimd_telemetry::{bucket_bounds, TelemetrySnapshot};
+
+use crate::histogram::BucketChart;
+use crate::table::Table;
+
+/// Humanize a nanosecond quantity (`1.5us`, `12.3ms`, `2.04s`).
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// The display label of histogram bucket `index`.
+fn bucket_label(index: usize) -> String {
+    let (lo, hi) = bucket_bounds(index);
+    match hi {
+        Some(hi) => format!("[{}, {})", fmt_ns(lo), fmt_ns(hi)),
+        None => format!("[{}, ..)", fmt_ns(lo)),
+    }
+}
+
+/// Render a telemetry snapshot as a human-readable profile: the counter
+/// table, a per-phase latency summary (count / total / mean / min /
+/// max), and a log-spaced bucket chart per histogram.
+pub fn render_profile(snapshot: &TelemetrySnapshot) -> String {
+    if snapshot.is_empty() {
+        return "telemetry: (empty — run with telemetry enabled)\n".to_string();
+    }
+    let mut out = String::new();
+
+    if !snapshot.counters.is_empty() {
+        let mut table = Table::new("telemetry counters", &["counter", "count"]);
+        for (name, value) in &snapshot.counters {
+            table.push_row(vec![name.clone(), value.to_string()]);
+        }
+        out.push_str(&table.render());
+    }
+
+    if !snapshot.histograms.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let mut table = Table::new(
+            "phase breakdown (wall-clock)",
+            &["phase", "count", "total", "mean", "min", "max"],
+        );
+        for (name, h) in &snapshot.histograms {
+            table.push_row(vec![
+                name.clone(),
+                h.count.to_string(),
+                fmt_ns(h.sum_ns),
+                fmt_ns(h.mean_ns() as u64),
+                fmt_ns(h.min_ns),
+                fmt_ns(h.max_ns),
+            ]);
+        }
+        out.push_str(&table.render());
+
+        for (name, h) in &snapshot.histograms {
+            let mut chart = BucketChart::new(format!("\n{name} latency"));
+            for &(index, count) in &h.buckets {
+                chart.push(bucket_label(index), count);
+            }
+            out.push_str(&chart.render(40));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimd_telemetry::Recorder;
+
+    #[test]
+    fn empty_snapshots_render_a_hint() {
+        let r = render_profile(&TelemetrySnapshot::default());
+        assert!(r.contains("empty"), "{r}");
+    }
+
+    #[test]
+    fn profile_lists_counters_phases_and_buckets() {
+        let recorder = Recorder::enabled();
+        recorder.add("vcycle.runs", 3);
+        recorder.incr("online.events");
+        for ns in [800, 1_500, 1_500_000, 2_500_000_000] {
+            recorder.record_ns("service.apply", ns);
+        }
+        let r = render_profile(&recorder.snapshot());
+        assert!(r.contains("telemetry counters"), "{r}");
+        assert!(r.contains("vcycle.runs"), "{r}");
+        assert!(r.contains("phase breakdown"), "{r}");
+        assert!(r.contains("service.apply"), "{r}");
+        // All four magnitudes show up humanized in the bucket labels.
+        for unit in ["ns", "us", "ms", "s)"] {
+            assert!(r.contains(unit), "missing {unit}: {r}");
+        }
+        assert!(r.contains('#'), "bars painted: {r}");
+    }
+
+    #[test]
+    fn bucket_labels_are_contiguous_half_open_ranges() {
+        assert_eq!(bucket_label(0), "[0ns, 2ns)");
+        assert_eq!(bucket_label(1), "[2ns, 4ns)");
+        assert!(bucket_label(mimd_telemetry::BUCKETS - 1).ends_with("..)"));
+    }
+}

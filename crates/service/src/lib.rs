@@ -29,7 +29,8 @@ pub mod serve;
 pub mod service;
 
 pub use protocol::{
-    CatalogEntry, ErrorCode, Request, Response, ServiceError, ServiceStats, SessionConfig,
+    CatalogEntry, ErrorCode, ErrorCounters, Request, Response, ServiceError, ServiceStats,
+    SessionConfig,
 };
 pub use serve::{serve_jsonl, trace_requests, ServeSummary};
 pub use service::{MappingService, ServiceConfig};

@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 
 use mimd_engine::{CacheStats, JobResult, JobSpec};
 use mimd_online::{OnlineConfig, ReplayRecord, TraceEvent, TraceHeader};
+use mimd_telemetry::TelemetrySnapshot;
 
 /// One request line of the service protocol.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -201,7 +202,7 @@ pub struct CatalogEntry {
 }
 
 /// Service-wide statistics.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServiceStats {
     /// Shared topology-cache counters — one cache across one-shot and
     /// session traffic, so mixed workloads show hierarchy hits here.
@@ -214,6 +215,55 @@ pub struct ServiceStats {
     pub map_once_served: usize,
     /// Session events applied (excluding initial mappings).
     pub events_applied: usize,
+    /// Requests handled over the service lifetime (every [`Request`]
+    /// dispatched through `handle`, plus malformed serve lines).
+    pub requests_served: usize,
+    /// Error responses tallied per [`ErrorCode`].
+    pub errors: ErrorCounters,
+    /// Telemetry counters and latency histograms — empty unless the
+    /// service was built with telemetry enabled.
+    pub telemetry: TelemetrySnapshot,
+}
+
+/// Error responses tallied per [`ErrorCode`] category.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorCounters {
+    /// [`ErrorCode::BadRequest`] responses (including malformed lines).
+    pub bad_request: usize,
+    /// [`ErrorCode::InvalidJob`] responses.
+    pub invalid_job: usize,
+    /// [`ErrorCode::Topology`] responses.
+    pub topology: usize,
+    /// [`ErrorCode::Workload`] responses.
+    pub workload: usize,
+    /// [`ErrorCode::UnknownSession`] responses.
+    pub unknown_session: usize,
+    /// [`ErrorCode::SessionLimit`] responses.
+    pub session_limit: usize,
+}
+
+impl ErrorCounters {
+    /// Total error responses across all categories.
+    pub fn total(&self) -> usize {
+        self.bad_request
+            + self.invalid_job
+            + self.topology
+            + self.workload
+            + self.unknown_session
+            + self.session_limit
+    }
+
+    /// The tally for one error code.
+    pub fn of(&self, code: ErrorCode) -> usize {
+        match code {
+            ErrorCode::BadRequest => self.bad_request,
+            ErrorCode::InvalidJob => self.invalid_job,
+            ErrorCode::Topology => self.topology,
+            ErrorCode::Workload => self.workload,
+            ErrorCode::UnknownSession => self.unknown_session,
+            ErrorCode::SessionLimit => self.session_limit,
+        }
+    }
 }
 
 /// Machine-readable failure category.

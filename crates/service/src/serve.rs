@@ -43,8 +43,11 @@ pub fn serve_jsonl(
         summary.requests += 1;
         let response = match Request::from_json_line(trimmed) {
             Ok(request) => service.handle(request),
-            Err(e) => ServiceError::new(ErrorCode::BadRequest, format!("line {}: {e}", lineno + 1))
-                .into_response(),
+            Err(e) => {
+                service.note_malformed_line();
+                ServiceError::new(ErrorCode::BadRequest, format!("line {}: {e}", lineno + 1))
+                    .into_response()
+            }
         };
         if response.is_error() {
             summary.errors += 1;

@@ -21,15 +21,16 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use mimd_engine::engine::execute_job;
+use mimd_engine::engine::execute_job_recorded;
 use mimd_engine::{
     algorithm_catalog, CacheStats, CancelToken, Engine, EngineConfig, JobResult, JobSpec,
     TopologyCache,
 };
 use mimd_online::{
-    replay_trace, DynamicWorkload, IncrementalMapper, OnlineConfig, OnlineSession, ReplayRecord,
-    ReplaySummary, TraceEvent, TraceHeader,
+    replay_trace_recorded, DynamicWorkload, IncrementalMapper, OnlineConfig, OnlineSession,
+    ReplayRecord, ReplaySummary, TraceEvent, TraceHeader,
 };
+use mimd_telemetry::Recorder;
 
 use crate::protocol::{
     CatalogEntry, ErrorCode, Request, Response, ServiceError, ServiceStats, SessionConfig,
@@ -45,6 +46,11 @@ pub struct ServiceConfig {
     /// Maximum concurrently open sessions; `OpenSession` beyond this
     /// answers [`ErrorCode::SessionLimit`].
     pub max_sessions: usize,
+    /// Enable the telemetry recorder: per-op latency histograms, engine
+    /// job/queue timings and `vcycle.*`/`online.*` phase spans, all
+    /// surfaced through [`ServiceStats::telemetry`]. Off by default —
+    /// the disabled recorder is a no-op and reads no clocks.
+    pub telemetry: bool,
 }
 
 impl Default for ServiceConfig {
@@ -52,6 +58,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             engine: EngineConfig::default(),
             max_sessions: 64,
+            telemetry: false,
         }
     }
 }
@@ -66,10 +73,44 @@ struct SessionEntry {
     closed: bool,
 }
 
+/// Lock-free per-[`ErrorCode`] tallies (one atomic per category).
+#[derive(Default)]
+struct ErrorTallies([AtomicUsize; 6]);
+
+impl ErrorTallies {
+    fn slot(code: ErrorCode) -> usize {
+        match code {
+            ErrorCode::BadRequest => 0,
+            ErrorCode::InvalidJob => 1,
+            ErrorCode::Topology => 2,
+            ErrorCode::Workload => 3,
+            ErrorCode::UnknownSession => 4,
+            ErrorCode::SessionLimit => 5,
+        }
+    }
+
+    fn bump(&self, code: ErrorCode) {
+        self.0[ErrorTallies::slot(code)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> crate::protocol::ErrorCounters {
+        let of = |code| self.0[ErrorTallies::slot(code)].load(Ordering::Relaxed);
+        crate::protocol::ErrorCounters {
+            bad_request: of(ErrorCode::BadRequest),
+            invalid_job: of(ErrorCode::InvalidJob),
+            topology: of(ErrorCode::Topology),
+            workload: of(ErrorCode::Workload),
+            unknown_session: of(ErrorCode::UnknownSession),
+            session_limit: of(ErrorCode::SessionLimit),
+        }
+    }
+}
+
 /// The unified mapping service (see module docs).
 pub struct MappingService {
     config: ServiceConfig,
     engine: Engine,
+    recorder: Recorder,
     /// Live sessions behind per-session locks: the table lock is held
     /// only for lookup/insert/remove, never across a remap.
     sessions: Mutex<BTreeMap<u64, Arc<Mutex<SessionEntry>>>>,
@@ -77,6 +118,8 @@ pub struct MappingService {
     sessions_opened: AtomicUsize,
     map_once_served: AtomicUsize,
     events_applied: AtomicUsize,
+    requests_served: AtomicUsize,
+    errors: ErrorTallies,
 }
 
 impl Default for MappingService {
@@ -95,15 +138,26 @@ impl MappingService {
     /// Service sharing an existing topology cache (e.g. with another
     /// service or a co-resident engine).
     pub fn with_cache(config: ServiceConfig, cache: Arc<TopologyCache>) -> Self {
+        let recorder = Recorder::new(config.telemetry);
         MappingService {
-            engine: Engine::with_cache(config.engine.clone(), cache),
+            engine: Engine::with_telemetry(config.engine.clone(), cache, recorder.clone()),
+            recorder,
             config,
             sessions: Mutex::new(BTreeMap::new()),
             next_session: AtomicU64::new(1),
             sessions_opened: AtomicUsize::new(0),
             map_once_served: AtomicUsize::new(0),
             events_applied: AtomicUsize::new(0),
+            requests_served: AtomicUsize::new(0),
+            errors: ErrorTallies::default(),
         }
+    }
+
+    /// The service's telemetry recorder — shared with the embedded
+    /// engine and every session; disabled (no-op) unless
+    /// [`ServiceConfig::telemetry`] is set.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The shared topology cache.
@@ -130,13 +184,20 @@ impl MappingService {
             sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
             map_once_served: self.map_once_served.load(Ordering::Relaxed),
             events_applied: self.events_applied.load(Ordering::Relaxed),
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            errors: self.errors.snapshot(),
+            telemetry: self.recorder.snapshot(),
         }
     }
 
     /// Serve one request. Never panics on bad input: every failure maps
     /// to a structured [`Response::Error`].
     pub fn handle(&self, request: Request) -> Response {
-        match request {
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+        // One latency histogram per op kind; the span name is fixed
+        // before dispatch so the clock covers the whole handler.
+        let _span = self.recorder.span(op_span_name(&request));
+        let response = match request {
             Request::MapOnce { job } => self.map_once(&job),
             Request::OpenSession {
                 header,
@@ -157,14 +218,28 @@ impl MappingService {
             Request::Stats => Response::Stats {
                 stats: self.stats(),
             },
+        };
+        if let Response::Error { error } = &response {
+            self.errors.bump(error.code);
         }
+        response
+    }
+
+    /// Count a serve-loop line that failed to parse as a [`Request`]:
+    /// it still consumed a request slot and answered
+    /// [`ErrorCode::BadRequest`], so the stats reflect it even though
+    /// `handle` never saw it.
+    pub fn note_malformed_line(&self) {
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+        self.errors.bump(ErrorCode::BadRequest);
+        self.recorder.incr("serve.malformed_lines");
     }
 
     /// Run one job against the shared cache (the engine's single-job
     /// code path; the batch engine and `MapOnce` behave identically).
     pub fn map_job(&self, spec: &JobSpec) -> JobResult {
         self.map_once_served.fetch_add(1, Ordering::Relaxed);
-        execute_job(spec, 0, self.cache())
+        execute_job_recorded(spec, 0, self.cache(), &self.recorder)
     }
 
     /// Run a stream of jobs on the embedded engine (shared cache,
@@ -203,7 +278,15 @@ impl MappingService {
             .cache()
             .system_hierarchy(&artifacts)
             .map_err(|e| format!("hierarchy: {e}"))?;
-        replay_trace(header, events, config, Some(hierarchy), seed, sink)
+        replay_trace_recorded(
+            header,
+            events,
+            config,
+            Some(hierarchy),
+            seed,
+            &self.recorder,
+            sink,
+        )
     }
 
     fn map_once(&self, job: &JobSpec) -> Response {
@@ -247,6 +330,7 @@ impl MappingService {
             }
         };
         let (session, record) = match IncrementalMapper::with_config(config.resolve())
+            .with_recorder(self.recorder.clone())
             .begin(workload, hierarchy, seed)
         {
             Ok(begun) => begun,
@@ -346,6 +430,18 @@ impl MappingService {
             None => ServiceError::new(ErrorCode::UnknownSession, format!("session {id} not open"))
                 .into_response(),
         }
+    }
+}
+
+/// The per-op latency-histogram key of a request.
+fn op_span_name(request: &Request) -> &'static str {
+    match request {
+        Request::MapOnce { .. } => "service.map_once",
+        Request::OpenSession { .. } => "service.open_session",
+        Request::Apply { .. } => "service.apply",
+        Request::CloseSession { .. } => "service.close_session",
+        Request::Catalog => "service.catalog",
+        Request::Stats => "service.stats",
     }
 }
 

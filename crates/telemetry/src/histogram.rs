@@ -1,0 +1,221 @@
+//! Fixed-bucket latency histograms with a deterministic log2 layout.
+//!
+//! Bucket `i` covers the half-open nanosecond range `[2^i, 2^(i+1))`
+//! (bucket 0 additionally absorbs 0), and the last bucket is open-ended
+//! — so the layout is a pure function of the value, never of the data
+//! distribution, and two histograms recorded on different machines
+//! merge bucket-by-bucket without re-binning.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets: `[0, 2)` ns up to `[2^39, ∞)` ns (~9 minutes),
+/// which comfortably brackets every span this workspace times.
+pub const BUCKETS: usize = 40;
+
+/// The bucket index of a nanosecond value: `floor(log2(ns))` clamped to
+/// the table (0 for `ns < 2`, the last bucket for anything ≥ `2^39`).
+pub fn bucket_index(ns: u64) -> usize {
+    if ns < 2 {
+        0
+    } else {
+        ((63 - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// The `[low, high)` nanosecond range of bucket `i`; `high` is `None`
+/// for the open-ended last bucket. Panics if `i >= BUCKETS`.
+pub fn bucket_bounds(i: usize) -> (u64, Option<u64>) {
+    assert!(i < BUCKETS, "bucket {i} out of range");
+    let low = if i == 0 { 0 } else { 1u64 << i };
+    let high = (i + 1 < BUCKETS).then(|| 1u64 << (i + 1));
+    (low, high)
+}
+
+/// A live latency histogram: a fixed bucket table plus count/sum/min/max.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Record one nanosecond observation.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[bucket_index(ns)] += 1;
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Freeze into the serde wire form (sparse bucket list).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum_ns: self.sum_ns,
+            min_ns: self.min_ns,
+            max_ns: self.max_ns,
+            buckets: self
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(i, &c)| (i, c))
+                .collect(),
+        }
+    }
+}
+
+/// The serde form of a [`LatencyHistogram`]: summary fields plus a
+/// sparse `(bucket index, count)` list, sorted by index.
+///
+/// `count` (and the per-bucket counts summing to it) is the structural
+/// half — how many observations happened — while `sum_ns`, `min_ns`,
+/// `max_ns` and which bucket each observation landed in are wall-clock
+/// and never asserted exactly.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations (saturating), in nanoseconds.
+    pub sum_ns: u64,
+    /// Smallest observation (0 when empty).
+    pub min_ns: u64,
+    /// Largest observation (0 when empty).
+    pub max_ns: u64,
+    /// Sparse `(bucket index, count)` pairs, ascending by index; only
+    /// non-empty buckets appear. Indices address the fixed
+    /// [`bucket_bounds`] layout.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Fold `other` into `self`. Merging is commutative and
+    /// associative: bucket counts add index-wise, summary fields
+    /// combine symmetrically.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        let mut counts = [0u64; BUCKETS];
+        for &(i, c) in self.buckets.iter().chain(&other.buckets) {
+            counts[i.min(BUCKETS - 1)] += c;
+        }
+        self.buckets = counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect();
+    }
+
+    /// Sum of the per-bucket counts (equals `count` for any snapshot
+    /// produced by this crate).
+    pub fn bucket_total(&self) -> u64 {
+        self.buckets.iter().map(|&(_, c)| c).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_log2_spaced() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            if let Some(hi) = hi {
+                assert_eq!(hi, lo.max(1) * 2, "bucket {i} doubles");
+            }
+        }
+    }
+
+    #[test]
+    fn record_tracks_count_sum_min_max() {
+        let mut h = LatencyHistogram::new();
+        for ns in [7u64, 3, 250, 3] {
+            h.record(ns);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum_ns, 263);
+        assert_eq!(s.min_ns, 3);
+        assert_eq!(s.max_ns, 250);
+        assert_eq!(s.bucket_total(), 4);
+        // 3 and 3 share bucket 1, 7 is bucket 2, 250 is bucket 7.
+        assert_eq!(s.buckets, vec![(1, 2), (2, 1), (7, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_all_zero() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s, HistogramSnapshot::default());
+        assert_eq!(s.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = LatencyHistogram::new();
+        h.record(9);
+        let s = h.snapshot();
+        let mut a = s.clone();
+        a.merge(&HistogramSnapshot::default());
+        assert_eq!(a, s);
+        let mut b = HistogramSnapshot::default();
+        b.merge(&s);
+        assert_eq!(b, s);
+    }
+}

@@ -1,0 +1,41 @@
+//! `mimd-telemetry` — the workspace's in-tree observability layer.
+//!
+//! The build environment is offline, so there is no `tracing` or
+//! `prometheus` to lean on; this crate is the small recorder the rest
+//! of the workspace instruments itself with. Three primitives:
+//!
+//! * **spans** — RAII wall-clock timers ([`Recorder::span`] /
+//!   [`Recorder::time`]) that feed a latency histogram named after the
+//!   span;
+//! * **counters** — monotonic `u64` counters ([`Recorder::incr`] /
+//!   [`Recorder::add`]) for structural facts (events served, V-cycle
+//!   levels walked, fallbacks taken);
+//! * **latency histograms** — fixed log2-spaced buckets over
+//!   nanoseconds ([`LatencyHistogram`]), deterministic layout, cheap to
+//!   merge.
+//!
+//! The [`Recorder`] is a cheap `Arc`-shared handle. A *disabled*
+//! recorder (the default) is a `None` inside and every operation is a
+//! no-op that never reads the clock, so instrumented code paths cost
+//! nothing when observability is off. [`Recorder::snapshot`] freezes
+//! the state into a serde [`TelemetrySnapshot`] for wire transport
+//! (`ServiceStats.telemetry`) and merging across recorders.
+//!
+//! **Determinism contract.** Counters and per-histogram `count` fields
+//! are *structural*: for a fixed input they are identical across runs,
+//! thread counts and machines, and tests assert exact values. The
+//! timing fields (`sum_ns`, `min_ns`, `max_ns`, bucket placement) are
+//! wall-clock and only ever validated for shape (min ≤ max, bucket
+//! totals, monotonicity). Nothing from this crate may be written to a
+//! deterministic output stream — profiles go to stderr.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod histogram;
+pub mod recorder;
+pub mod snapshot;
+
+pub use histogram::{bucket_bounds, bucket_index, HistogramSnapshot, LatencyHistogram, BUCKETS};
+pub use recorder::{Recorder, Span};
+pub use snapshot::TelemetrySnapshot;

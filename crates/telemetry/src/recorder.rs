@@ -1,0 +1,205 @@
+//! The [`Recorder`]: a cheap `Arc`-shared handle instrumented code
+//! records into, and the RAII [`Span`] timer it hands out.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::histogram::LatencyHistogram;
+use crate::snapshot::TelemetrySnapshot;
+
+#[derive(Debug, Default)]
+struct State {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, LatencyHistogram>,
+}
+
+/// The shared telemetry sink. Clones are handles onto one underlying
+/// state; a disabled recorder (the [`Default`]) carries no state at all
+/// and every operation is a no-op that never reads the clock.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Mutex<State>>>,
+}
+
+impl Recorder {
+    /// A disabled (no-op) recorder — identical to [`Recorder::default`].
+    pub fn disabled() -> Self {
+        Recorder::default()
+    }
+
+    /// A live recorder with fresh, empty state.
+    pub fn enabled() -> Self {
+        Recorder {
+            inner: Some(Arc::new(Mutex::new(State::default()))),
+        }
+    }
+
+    /// A recorder that is live iff `on` (the usual config-flag bridge).
+    pub fn new(on: bool) -> Self {
+        if on {
+            Recorder::enabled()
+        } else {
+            Recorder::disabled()
+        }
+    }
+
+    /// `true` iff this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Increment counter `name` by 1.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increment counter `name` by `n`.
+    pub fn add(&self, name: &str, n: u64) {
+        if let Some(inner) = &self.inner {
+            let mut state = inner.lock();
+            *state.counters.entry(name.to_string()).or_insert(0) += n;
+        }
+    }
+
+    /// Record a nanosecond observation into histogram `name`.
+    pub fn record_ns(&self, name: &str, ns: u64) {
+        if let Some(inner) = &self.inner {
+            let mut state = inner.lock();
+            state
+                .histograms
+                .entry(name.to_string())
+                .or_default()
+                .record(ns);
+        }
+    }
+
+    /// Record a [`Duration`] observation into histogram `name`.
+    pub fn record_duration(&self, name: &str, duration: Duration) {
+        self.record_ns(name, saturating_ns(duration));
+    }
+
+    /// Start an RAII span: the elapsed wall-clock time from this call
+    /// to the returned guard's drop lands in histogram `name`. On a
+    /// disabled recorder the guard is inert and the clock is never read.
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            inner: self
+                .inner
+                .as_ref()
+                .map(|inner| (Arc::clone(inner), name.to_string(), Instant::now())),
+        }
+    }
+
+    /// Time a closure under a span named `name` and return its output.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let _span = self.span(name);
+        f()
+    }
+
+    /// Freeze the current state into a serde snapshot. A disabled
+    /// recorder snapshots empty.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        match &self.inner {
+            None => TelemetrySnapshot::default(),
+            Some(inner) => {
+                let state = inner.lock();
+                TelemetrySnapshot {
+                    counters: state.counters.clone(),
+                    histograms: state
+                        .histograms
+                        .iter()
+                        .map(|(name, h)| (name.clone(), h.snapshot()))
+                        .collect(),
+                }
+            }
+        }
+    }
+}
+
+/// RAII span guard from [`Recorder::span`]; records its lifetime into
+/// the recorder's histogram on drop.
+#[must_use = "a span records on drop; binding it to _ ends it immediately"]
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<(Arc<Mutex<State>>, String, Instant)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((inner, name, start)) = self.inner.take() {
+            let ns = saturating_ns(start.elapsed());
+            let mut state = inner.lock();
+            state.histograms.entry(name).or_default().record(ns);
+        }
+    }
+}
+
+fn saturating_ns(duration: Duration) -> u64 {
+    u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.incr("a");
+        r.record_ns("b", 10);
+        let _ = r.span("c");
+        assert_eq!(r.snapshot(), TelemetrySnapshot::default());
+    }
+
+    #[test]
+    fn counters_accumulate_across_clones() {
+        let r = Recorder::enabled();
+        let clone = r.clone();
+        r.incr("jobs");
+        clone.add("jobs", 2);
+        clone.incr("other");
+        let snapshot = r.snapshot();
+        assert_eq!(snapshot.counter("jobs"), 3);
+        assert_eq!(snapshot.counter("other"), 1);
+        assert_eq!(snapshot.counter("missing"), 0);
+    }
+
+    #[test]
+    fn spans_and_time_feed_histograms() {
+        let r = Recorder::enabled();
+        {
+            let _span = r.span("work");
+        }
+        let out = r.time("work", || 42);
+        assert_eq!(out, 42);
+        r.record_duration("work", Duration::from_micros(3));
+        let snapshot = r.snapshot();
+        let h = &snapshot.histograms["work"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.bucket_total(), 3);
+        assert!(h.min_ns <= h.max_ns);
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads() {
+        let r = Recorder::enabled();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let r = r.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        r.incr("n");
+                        r.record_ns("t", 5);
+                    }
+                });
+            }
+        });
+        let snapshot = r.snapshot();
+        assert_eq!(snapshot.counter("n"), 400);
+        assert_eq!(snapshot.histograms["t"].count, 400);
+    }
+}

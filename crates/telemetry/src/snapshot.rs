@@ -1,0 +1,78 @@
+//! The serde wire form of a recorder's state.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::HistogramSnapshot;
+
+/// A frozen copy of a [`Recorder`](crate::Recorder)'s state: named
+/// counters plus named latency histograms, both in sorted (`BTreeMap`)
+/// order so serialization is canonical.
+///
+/// Counters (and each histogram's `count`) are structural and
+/// deterministic; the histogram timing fields are wall-clock. See the
+/// crate docs for the determinism contract.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Latency histograms by span name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// The value of counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// `true` iff nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Fold `other` into `self`: counters add, histograms merge
+    /// index-wise. Commutative and associative, so snapshots from many
+    /// recorders (or many service instances) combine in any order.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for (name, &value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, histogram) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_default()
+                .merge(histogram);
+        }
+    }
+
+    /// The merge of two snapshots, by value.
+    pub fn merged(mut a: TelemetrySnapshot, b: &TelemetrySnapshot) -> TelemetrySnapshot {
+        a.merge(b);
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let a = Recorder::enabled();
+        a.incr("x");
+        a.record_ns("t", 4);
+        let b = Recorder::enabled();
+        b.add("x", 2);
+        b.incr("y");
+        b.record_ns("t", 4);
+        let merged = TelemetrySnapshot::merged(a.snapshot(), &b.snapshot());
+        assert_eq!(merged.counter("x"), 3);
+        assert_eq!(merged.counter("y"), 1);
+        assert_eq!(merged.histograms["t"].count, 2);
+        assert_eq!(merged.histograms["t"].buckets, vec![(2, 2)]);
+        assert!(!merged.is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the histogram bucket layout, snapshot merging
+//! and serde round-trips.
+
+use proptest::prelude::*;
+
+use mimd_telemetry::{
+    bucket_bounds, bucket_index, HistogramSnapshot, LatencyHistogram, Recorder, TelemetrySnapshot,
+    BUCKETS,
+};
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let mut h = LatencyHistogram::new();
+    for &ns in values {
+        h.record(ns);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn every_value_lands_inside_its_bucket(ns in 0u64..u64::MAX) {
+        let i = bucket_index(ns);
+        prop_assert!(i < BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(ns >= lo || (i == 0 && ns < 2), "{ns} below bucket {i} low {lo}");
+        if let Some(hi) = hi {
+            prop_assert!(ns < hi, "{ns} not below bucket {i} high {hi}");
+        }
+    }
+
+    #[test]
+    fn buckets_are_log_spaced_and_contiguous(i in 0usize..BUCKETS - 1) {
+        let (lo, hi) = bucket_bounds(i);
+        let hi = hi.expect("only the last bucket is open-ended");
+        // Each bucket spans one power of two and meets the next exactly.
+        prop_assert_eq!(hi, lo.max(1) * 2);
+        let (next_lo, _) = bucket_bounds(i + 1);
+        prop_assert_eq!(next_lo, hi);
+    }
+
+    #[test]
+    fn histogram_counts_match_recorded_values(
+        values in prop::collection::vec(0u64..2_000_000_000, 0..40)
+    ) {
+        let s = snapshot_of(&values);
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.bucket_total(), values.len() as u64);
+        if let (Some(&min), Some(&max)) =
+            (values.iter().min(), values.iter().max())
+        {
+            prop_assert_eq!(s.min_ns, min);
+            prop_assert_eq!(s.max_ns, max);
+            prop_assert!(s.sum_ns >= s.max_ns);
+        }
+        // Indices ascend and every listed bucket is non-empty.
+        for pair in s.buckets.windows(2) {
+            prop_assert!(pair[0].0 < pair[1].0);
+        }
+        prop_assert!(s.buckets.iter().all(|&(_, c)| c > 0));
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative(
+        left in prop::collection::vec(0u64..2_000_000_000, 0..30),
+        right in prop::collection::vec(0u64..2_000_000_000, 0..30),
+    ) {
+        let (a, b) = (snapshot_of(&left), snapshot_of(&right));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        // Merging equals recording the concatenation.
+        let mut all = left.clone();
+        all.extend_from_slice(&right);
+        prop_assert_eq!(ab, snapshot_of(&all));
+    }
+
+    #[test]
+    fn snapshot_merge_is_commutative(
+        counters in prop::collection::vec(0u64..5, 0..8),
+        values in prop::collection::vec(0u64..1_000_000, 0..16),
+    ) {
+        let a = Recorder::enabled();
+        for (i, &n) in counters.iter().enumerate() {
+            a.add(&format!("c{}", i % 3), n);
+        }
+        let b = Recorder::enabled();
+        for &ns in &values {
+            b.record_ns("t", ns);
+            b.incr("c0");
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let ab = TelemetrySnapshot::merged(sa.clone(), &sb);
+        let ba = TelemetrySnapshot::merged(sb, &sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn snapshot_serde_round_trips(
+        counters in prop::collection::vec(1u64..1000, 0..6),
+        values in prop::collection::vec(0u64..3_000_000_000, 0..24),
+    ) {
+        let r = Recorder::enabled();
+        for (i, &n) in counters.iter().enumerate() {
+            r.add(&format!("counter.{i}"), n);
+        }
+        for (i, &ns) in values.iter().enumerate() {
+            r.record_ns(if i % 2 == 0 { "span.even" } else { "span.odd" }, ns);
+        }
+        let snapshot = r.snapshot();
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, snapshot);
+    }
+}

@@ -9,4 +9,5 @@ pub use mimd_report as report;
 pub use mimd_service as service;
 pub use mimd_sim as sim;
 pub use mimd_taskgraph as taskgraph;
+pub use mimd_telemetry as telemetry;
 pub use mimd_topology as topology;

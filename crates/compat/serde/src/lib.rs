@@ -133,6 +133,18 @@ pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, D
     }
 }
 
+/// Like [`field`], but a missing key yields `T::default()` — the
+/// behaviour of `#[serde(default)]` on a field.
+pub fn field_or_default<T: Deserialize + Default>(
+    obj: &[(String, Value)],
+    name: &str,
+) -> Result<T, DeError> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| e.in_context(name)),
+        None => Ok(T::default()),
+    }
+}
+
 macro_rules! impl_serde_uint {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

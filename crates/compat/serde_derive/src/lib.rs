@@ -6,7 +6,9 @@
 //! * structs with named fields, including plain type generics;
 //! * enums with unit and struct variants, externally tagged by default;
 //! * container attribute `#[serde(tag = "...", rename_all = "snake_case")]`
-//!   for internally tagged enums.
+//!   for internally tagged enums;
+//! * field attribute `#[serde(default)]` (missing key deserializes to
+//!   `Default::default()`).
 //!
 //! Generated code targets the value-tree model of the sibling `serde`
 //! stub (`to_value`/`from_value`).
@@ -44,14 +46,20 @@ struct Item {
 }
 
 enum Body {
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
     Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: a missing key becomes `Default::default()`.
+    default: bool,
 }
 
 struct Variant {
     name: String,
-    /// `None` for unit variants, field names for struct variants.
-    fields: Option<Vec<String>>,
+    /// `None` for unit variants, fields for struct variants.
+    fields: Option<Vec<Field>>,
 }
 
 fn parse_item(input: TokenStream) -> Item {
@@ -148,9 +156,30 @@ fn unquote(lit: &str) -> String {
 
 /// Skip inner attributes and `pub` / `pub(...)` visibility markers.
 fn skip_attrs_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    scan_attrs_and_visibility(tokens, pos);
+}
+
+/// Like [`skip_attrs_and_visibility`], but reports whether one of the
+/// skipped attributes was `#[serde(default)]`.
+fn scan_attrs_and_visibility(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut default = false;
     loop {
         match tokens.get(*pos) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                        (inner.first(), inner.get(1))
+                    {
+                        if id.to_string() == "serde"
+                            && args.stream().into_iter().any(
+                                |t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "default"),
+                            )
+                        {
+                            default = true;
+                        }
+                    }
+                }
                 *pos += 2; // '#' + bracket group
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -161,7 +190,7 @@ fn skip_attrs_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
                     }
                 }
             }
-            _ => return,
+            _ => return default,
         }
     }
 }
@@ -217,12 +246,12 @@ fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
 }
 
 /// Parse `name: Type, ...` named fields from a brace group's stream.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut pos = 0;
     let mut fields = Vec::new();
     while pos < tokens.len() {
-        skip_attrs_and_visibility(&tokens, &mut pos);
+        let default = scan_attrs_and_visibility(&tokens, &mut pos);
         if pos >= tokens.len() {
             break;
         }
@@ -231,7 +260,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
             other => panic!("serde derive: expected ':' after field '{name}', found {other:?}"),
         }
-        fields.push(name);
+        fields.push(Field { name, default });
         // Consume the type: everything until a comma at angle depth 0.
         let mut angle_depth = 0usize;
         while pos < tokens.len() {
@@ -348,10 +377,22 @@ fn generate(item: &Item, mode: Mode) -> String {
     }
 }
 
-fn gen_struct_ser(fields: &[String]) -> String {
+/// The deserialization initializer for one field: plain fields error on
+/// a missing key, `#[serde(default)]` fields fall back to `Default`.
+fn de_init(f: &Field) -> String {
+    let name = &f.name;
+    if f.default {
+        format!("{name}: ::serde::field_or_default(obj, \"{name}\")?")
+    } else {
+        format!("{name}: ::serde::field(obj, \"{name}\")?")
+    }
+}
+
+fn gen_struct_ser(fields: &[Field]) -> String {
     let pushes: Vec<String> = fields
         .iter()
         .map(|f| {
+            let f = &f.name;
             format!(
                 "(::std::string::String::from(\"{f}\"), \
                  ::serde::Serialize::to_value(&self.{f}))"
@@ -361,11 +402,8 @@ fn gen_struct_ser(fields: &[String]) -> String {
     format!("::serde::Value::Obj(::std::vec![{}])", pushes.join(", "))
 }
 
-fn gen_struct_de(name: &str, fields: &[String]) -> String {
-    let inits: Vec<String> = fields
-        .iter()
-        .map(|f| format!("{f}: ::serde::field(obj, \"{f}\")?"))
-        .collect();
+fn gen_struct_de(name: &str, fields: &[Field]) -> String {
+    let inits: Vec<String> = fields.iter().map(de_init).collect();
     format!(
         "let obj = v.as_obj().ok_or_else(|| \
             ::serde::DeError::expected(\"object for {name}\", v))?;\n\
@@ -396,10 +434,15 @@ fn gen_enum_ser(item: &Item, variants: &[Variant]) -> String {
                       ::serde::Value::Str(::std::string::String::from(\"{label}\")))]),"
                 ),
                 (Some(fields), tag) => {
-                    let bindings = fields.join(", ");
+                    let bindings = fields
+                        .iter()
+                        .map(|f| f.name.clone())
+                        .collect::<Vec<_>>()
+                        .join(", ");
                     let field_pairs: Vec<String> = fields
                         .iter()
                         .map(|f| {
+                            let f = &f.name;
                             format!(
                                 "(::std::string::String::from(\"{f}\"), \
                                  ::serde::Serialize::to_value({f}))"
@@ -446,10 +489,7 @@ fn gen_enum_de(item: &Item, variants: &[Variant]) -> String {
                 match &variant.fields {
                     None => format!("\"{label}\" => ::std::result::Result::Ok({name}::{vname}),"),
                     Some(fields) => {
-                        let inits: Vec<String> = fields
-                            .iter()
-                            .map(|f| format!("{f}: ::serde::field(obj, \"{f}\")?"))
-                            .collect();
+                        let inits: Vec<String> = fields.iter().map(de_init).collect();
                         format!(
                             "\"{label}\" => ::std::result::Result::Ok(\
                              {name}::{vname} {{ {} }}),",
@@ -495,10 +535,7 @@ fn gen_enum_de(item: &Item, variants: &[Variant]) -> String {
                     vname.clone()
                 };
                 variant.fields.as_ref().map(|fields| {
-                    let inits: Vec<String> = fields
-                        .iter()
-                        .map(|f| format!("{f}: ::serde::field(obj, \"{f}\")?"))
-                        .collect();
+                    let inits: Vec<String> = fields.iter().map(de_init).collect();
                     format!(
                         "\"{label}\" => {{\n\
                              let obj = inner.as_obj().ok_or_else(|| \

@@ -60,10 +60,7 @@ impl Assignment {
     /// Uniformly random assignment.
     pub fn random(n: usize, rng: &mut impl Rng) -> Self {
         let mut sys_of: Vec<usize> = (0..n).collect();
-        for i in (1..n).rev() {
-            let j = rng.gen_range(0..=i);
-            sys_of.swap(i, j);
-        }
+        crate::shuffle::fisher_yates(&mut sys_of, rng);
         Assignment::from_sys_of(sys_of).expect("shuffle of identity is a permutation")
     }
 
@@ -108,6 +105,18 @@ impl Assignment {
         self.sys_of[b] = sa;
         self.cluster_of[sa] = b;
         self.cluster_of[sb] = a;
+    }
+
+    /// Raw single-cluster write used by the delta evaluator's staged
+    /// moves and their rollback: put cluster `a` on processor `s`,
+    /// updating both directions without validating bijectivity. The
+    /// caller applies a *set* of moves whose processors permute among
+    /// themselves, which restores the invariant once every write lands
+    /// (the same contract as [`Assignment::place_subset`]).
+    #[inline]
+    pub(crate) fn place(&mut self, a: usize, s: usize) {
+        self.sys_of[a] = s;
+        self.cluster_of[s] = a;
     }
 
     /// Re-place a subset of clusters onto a set of processors (used by

@@ -73,6 +73,43 @@ pub fn evaluate_assignment(
     })
 }
 
+/// Total time of `assignment` without materializing an [`Evaluation`]:
+/// skips the assignment clone and returns just the makespan. The
+/// hot-path entry point for every caller that throws the schedule away
+/// (refinement loops, random-mapping baselines, bound checks); totals
+/// and error cases are identical to
+/// [`evaluate_assignment`]`(..)?.total()`.
+pub fn evaluate_total(
+    graph: &ClusteredProblemGraph,
+    system: &SystemGraph,
+    assignment: &Assignment,
+    model: EvaluationModel,
+) -> Result<Time, GraphError> {
+    if graph.num_clusters() != system.len() {
+        return Err(GraphError::SizeMismatch {
+            left: graph.num_clusters(),
+            right: system.len(),
+        });
+    }
+    if assignment.len() != system.len() {
+        return Err(GraphError::SizeMismatch {
+            left: assignment.len(),
+            right: system.len(),
+        });
+    }
+    let schedule = Schedule::compute(graph, model, |u, v| {
+        let w = graph.clus_weight(u, v);
+        if w == 0 {
+            0
+        } else {
+            let su = assignment.sys_of(graph.cluster_of(u));
+            let sv = assignment.sys_of(graph.cluster_of(v));
+            w * Time::from(system.hops(su, sv))
+        }
+    });
+    Ok(schedule.total())
+}
+
 /// The paper's §4.3.4 Algorithm I: the explicit communication matrix
 /// `comm[np][np]` under an assignment, where `comm[i][j] =
 /// clus_edge[i][j] × shortest[s_i][s_j]` (0 within a cluster). The
@@ -123,7 +160,7 @@ pub fn random_mapping_average(
     let mut max = 0;
     for _ in 0..reps {
         let a = Assignment::random(system.len(), rng);
-        let total = evaluate_assignment(graph, system, &a, model)?.total();
+        let total = evaluate_total(graph, system, &a, model)?;
         sum += u128::from(total);
         min = min.min(total);
         max = max.max(total);
@@ -242,6 +279,37 @@ mod tests {
         let eval = evaluate_assignment(&g, &sys, &a, EvaluationModel::Precedence).unwrap();
         assert_eq!(from_matrix.total(), eval.total());
         assert!(communication_matrix(&g, &ring(5).unwrap(), &a).is_err());
+    }
+
+    #[test]
+    fn evaluate_total_matches_full_evaluation() {
+        let g = paper::worked_example();
+        let sys = ring(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        for model in [EvaluationModel::Precedence, EvaluationModel::Serialized] {
+            for _ in 0..10 {
+                let a = Assignment::random(4, &mut rng);
+                assert_eq!(
+                    evaluate_total(&g, &sys, &a, model).unwrap(),
+                    evaluate_assignment(&g, &sys, &a, model).unwrap().total()
+                );
+            }
+        }
+        // Same error cases.
+        assert!(evaluate_total(
+            &g,
+            &ring(5).unwrap(),
+            &Assignment::identity(5),
+            EvaluationModel::Precedence
+        )
+        .is_err());
+        assert!(evaluate_total(
+            &g,
+            &sys,
+            &Assignment::identity(5),
+            EvaluationModel::Precedence
+        )
+        .is_err());
     }
 
     #[test]

@@ -30,21 +30,27 @@
 pub mod assignment;
 pub mod bounds;
 pub mod critical;
+pub mod delta;
 pub mod evaluate;
+pub mod gain;
 pub mod ideal;
 pub mod initial;
 pub mod mapper;
 pub mod parallel;
 pub mod refine;
 pub mod schedule;
+pub mod shuffle;
 pub mod validate;
 
 pub use assignment::Assignment;
 pub use critical::{CriticalAnalysis, CriticalityMode};
-pub use evaluate::{evaluate_assignment, Evaluation};
+pub use delta::{DeltaEvaluator, DeltaWorkspace};
+pub use evaluate::{evaluate_assignment, evaluate_total, Evaluation};
+pub use gain::GainTable;
 pub use ideal::IdealSchedule;
 pub use initial::initial_assignment;
 pub use mapper::{Mapper, MapperConfig, MappingResult};
-pub use refine::{refine, RefineConfig, RefineOutcome};
+pub use refine::{refine, refine_with, RefineConfig, RefineOutcome};
 pub use schedule::{EvaluationModel, Schedule};
+pub use shuffle::fisher_yates;
 pub use validate::{validate_schedule, Violation};

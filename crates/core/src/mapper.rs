@@ -6,13 +6,15 @@ use serde::{Deserialize, Serialize};
 use mimd_graph::error::GraphError;
 use mimd_graph::Time;
 use mimd_taskgraph::{AbstractGraph, ClusteredProblemGraph};
+use mimd_telemetry::Recorder;
 use mimd_topology::SystemGraph;
 
 use crate::assignment::Assignment;
 use crate::critical::{CriticalAnalysis, CriticalityMode};
+use crate::delta::DeltaWorkspace;
 use crate::ideal::IdealSchedule;
 use crate::initial::initial_assignment;
-use crate::refine::{refine, RefineConfig, RefineOutcome};
+use crate::refine::{refine_with, RefineConfig, RefineOutcome};
 use crate::schedule::EvaluationModel;
 
 /// Pipeline configuration. [`MapperConfig::default`] is the paper's
@@ -35,6 +37,11 @@ pub struct MapperConfig {
     /// guarantees the strategy never loses to its own initial mistakes
     /// (see DESIGN.md §5).
     pub unpinned_fallback: bool,
+    /// Gain-ranked pairwise-exchange budget appended to each refinement
+    /// pass ([`RefineConfig::exchange_pool`]; default 0 = off, the
+    /// paper's exact behaviour).
+    #[serde(default)]
+    pub exchange_pool: usize,
 }
 
 impl Default for MapperConfig {
@@ -45,6 +52,7 @@ impl Default for MapperConfig {
             refine_iterations: None,
             respect_pins: true,
             unpinned_fallback: true,
+            exchange_pool: 0,
         }
     }
 }
@@ -87,6 +95,7 @@ impl MappingResult {
 #[derive(Clone, Debug, Default)]
 pub struct Mapper {
     config: MapperConfig,
+    recorder: Recorder,
 }
 
 impl Mapper {
@@ -97,7 +106,18 @@ impl Mapper {
 
     /// Mapper with a custom configuration.
     pub fn with_config(config: MapperConfig) -> Self {
-        Mapper { config }
+        Mapper {
+            config,
+            recorder: Recorder::default(),
+        }
+    }
+
+    /// Attach a telemetry recorder (refinement candidate/acceptance
+    /// counters land on it).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The active configuration.
@@ -121,14 +141,19 @@ impl Mapper {
             iterations: self.config.refine_iterations.unwrap_or(system.len()),
             model: self.config.model,
             respect_pins: self.config.respect_pins,
+            exchange_pool: self.config.exchange_pool,
         };
-        let mut outcome = refine(
+        // One workspace serves both refinement passes.
+        let mut ws = DeltaWorkspace::new();
+        let mut outcome = refine_with(
             graph,
             system,
             &init.assignment,
             &init.critical,
             ideal.lower_bound(),
             &refine_config,
+            &self.recorder,
+            &mut ws,
             rng,
         )?;
         if self.config.unpinned_fallback && !outcome.reached_lower_bound {
@@ -136,13 +161,15 @@ impl Mapper {
                 respect_pins: false,
                 ..refine_config
             };
-            let second = refine(
+            let second = refine_with(
                 graph,
                 system,
                 &outcome.assignment,
                 &init.critical,
                 ideal.lower_bound(),
                 &free_config,
+                &self.recorder,
+                &mut ws,
                 rng,
             )?;
             if second.total < outcome.total {

@@ -106,8 +106,7 @@ pub fn parallel_refine(
     }
 
     // Evaluate the start once for the shared incumbent.
-    let initial =
-        crate::evaluate::evaluate_assignment(graph, system, start, config.base.model)?.total();
+    let initial = crate::evaluate::evaluate_total(graph, system, start, config.base.model)?;
     let best: Mutex<(Time, Assignment)> = Mutex::new((initial, start.clone()));
     let stop = AtomicBool::new(initial == lower_bound);
     let used = AtomicUsize::new(0);

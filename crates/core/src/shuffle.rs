@@ -1,0 +1,71 @@
+//! The one Fisher–Yates shuffle every randomized component shares.
+//!
+//! Refinement (`refine`), the multilevel batched smoother and
+//! [`Assignment::random`](crate::Assignment::random) all permute a slice
+//! with the same classic descending-index loop. Keeping the loop in one
+//! place pins the **RNG call sequence** — one `gen_range(0..=i)` per
+//! index `i` from `len - 1` down to `1` — which the determinism goldens
+//! depend on: any reordering of the draws would silently shift every
+//! seeded result in the repo.
+
+use rand::Rng;
+
+/// Shuffle `xs` in place with the Fisher–Yates algorithm, drawing
+/// exactly `xs.len().saturating_sub(1)` values from `rng` (one
+/// `gen_range(0..=i)` per `i` in `(1..len).rev()`). Empty and
+/// single-element slices consume no randomness.
+#[inline]
+pub fn fisher_yates<T>(xs: &mut [T], rng: &mut impl Rng) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_the_historic_inline_loop() {
+        // The exact loop previously duplicated in refine() and
+        // Assignment::random — byte-identical draws, byte-identical
+        // permutation.
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        let mut a: Vec<usize> = (0..17).collect();
+        let mut b: Vec<usize> = (0..17).collect();
+        fisher_yates(&mut a, &mut rng_a);
+        for i in (1..b.len()).rev() {
+            let j = rng_b.gen_range(0..=i);
+            b.swap(i, j);
+        }
+        assert_eq!(a, b);
+        // Both RNGs sit at the same stream position afterwards.
+        assert_eq!(rng_a.gen_range(0..1_000_000), rng_b.gen_range(0..1_000_000));
+    }
+
+    #[test]
+    fn short_slices_consume_no_randomness() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let before = rng.gen_range(0..u64::MAX);
+        let mut rng = StdRng::seed_from_u64(7);
+        fisher_yates(&mut [0usize; 0], &mut rng);
+        fisher_yates(&mut [1usize], &mut rng);
+        assert_eq!(rng.gen_range(0..u64::MAX), before);
+    }
+
+    #[test]
+    fn produces_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut xs: Vec<usize> = (0..50).collect();
+        fisher_yates(&mut xs, &mut rng);
+        let mut seen = [false; 50];
+        for &x in &xs {
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

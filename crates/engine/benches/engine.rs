@@ -56,6 +56,7 @@ fn batch_100() -> Vec<JobSpec> {
                 topology_seed: None,
                 algorithm: AlgorithmSpec::Paper {
                     refine_iterations: None,
+                    exchange_pool: 0,
                 },
                 seed,
             });

@@ -360,6 +360,7 @@ mod tests {
                 topology_seed: None,
                 algorithm: AlgorithmSpec::Paper {
                     refine_iterations: None,
+                    exchange_pool: 0,
                 },
                 seed: i as u64,
             })

@@ -106,6 +106,7 @@ mod tests {
             &[
                 AlgorithmSpec::Paper {
                     refine_iterations: None,
+                    exchange_pool: 0,
                 },
                 AlgorithmSpec::Random { k: 4 },
             ],

@@ -32,6 +32,8 @@ use crate::spec::AlgorithmSpec;
 pub struct PaperStrategy {
     /// Pipeline configuration (paper defaults unless overridden).
     pub config: MapperConfig,
+    /// Telemetry sink for refinement counters; disabled by default.
+    pub recorder: Recorder,
 }
 
 impl MappingAlgorithm for PaperStrategy {
@@ -46,7 +48,9 @@ impl MappingAlgorithm for PaperStrategy {
         _lower_bound: Time,
         rng: &mut StdRng,
     ) -> Result<AlgorithmOutcome, GraphError> {
-        let result = Mapper::with_config(self.config.clone()).map(graph, system, rng)?;
+        let result = Mapper::with_config(self.config.clone())
+            .with_recorder(self.recorder.clone())
+            .map(graph, system, rng)?;
         Ok(AlgorithmOutcome {
             assignment: result.assignment,
             total: result.total_time,
@@ -197,11 +201,16 @@ pub fn instantiate_telemetry(
     recorder: &Recorder,
 ) -> Box<dyn MappingAlgorithm> {
     match *spec {
-        AlgorithmSpec::Paper { refine_iterations } => Box::new(PaperStrategy {
+        AlgorithmSpec::Paper {
+            refine_iterations,
+            exchange_pool,
+        } => Box::new(PaperStrategy {
             config: MapperConfig {
                 refine_iterations,
+                exchange_pool,
                 ..MapperConfig::default()
             },
+            recorder: recorder.clone(),
         }),
         AlgorithmSpec::Random { k } => Box::new(RandomSearch { k }),
         AlgorithmSpec::Bokhari { jumps } => Box::new(Bokhari { jumps }),
@@ -285,6 +294,7 @@ mod tests {
         let specs = [
             AlgorithmSpec::Paper {
                 refine_iterations: None,
+                exchange_pool: 0,
             },
             AlgorithmSpec::Random { k: 4 },
             AlgorithmSpec::Bokhari { jumps: 2 },
@@ -406,6 +416,7 @@ mod tests {
         let algo = instantiate(
             &AlgorithmSpec::Paper {
                 refine_iterations: None,
+                exchange_pool: 0,
             },
             4,
         );

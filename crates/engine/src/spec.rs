@@ -219,6 +219,10 @@ pub enum AlgorithmSpec {
     Paper {
         /// Refinement budget; `None` uses the paper's `ns`.
         refine_iterations: Option<usize>,
+        /// Gain-ranked pairwise-exchange budget appended to each
+        /// refinement pass (0 = off, the paper's exact behaviour).
+        #[serde(default)]
+        exchange_pool: usize,
     },
     /// Best of `k` uniformly random placements.
     Random {
@@ -299,6 +303,7 @@ impl AlgorithmSpec {
         match s {
             "paper" => Ok(AlgorithmSpec::Paper {
                 refine_iterations: None,
+                exchange_pool: 0,
             }),
             "random" => Ok(AlgorithmSpec::Random { k: 32 }),
             "bokhari" => Ok(AlgorithmSpec::Bokhari { jumps: 10 }),
@@ -445,6 +450,7 @@ mod tests {
             topology_seed: None,
             algorithm: AlgorithmSpec::Paper {
                 refine_iterations: None,
+                exchange_pool: 0,
             },
             seed: 7,
         }

@@ -12,6 +12,7 @@ fn portfolio_batch() -> Vec<JobSpec> {
     let algorithms = [
         AlgorithmSpec::Paper {
             refine_iterations: None,
+            exchange_pool: 0,
         },
         AlgorithmSpec::Random { k: 8 },
         AlgorithmSpec::Bokhari { jumps: 3 },

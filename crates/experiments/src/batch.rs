@@ -29,6 +29,7 @@ pub fn series_jobs(config: &SeriesConfig) -> Vec<JobSpec> {
                 topology_seed: Some(seed),
                 algorithm: AlgorithmSpec::Paper {
                     refine_iterations: config.mapper.refine_iterations,
+                    exchange_pool: config.mapper.exchange_pool,
                 },
                 seed,
             }

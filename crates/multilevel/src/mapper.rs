@@ -3,7 +3,8 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use mimd_core::evaluate::evaluate_assignment;
+use mimd_core::delta::DeltaWorkspace;
+use mimd_core::evaluate::evaluate_total;
 use mimd_core::{Assignment, IdealSchedule, Mapper, MapperConfig};
 use mimd_graph::error::GraphError;
 use mimd_graph::Time;
@@ -12,7 +13,7 @@ use mimd_telemetry::Recorder;
 use mimd_topology::SystemGraph;
 
 use crate::hierarchy::{Coarsening, Hierarchy, SystemHierarchy};
-use crate::refine::{refine_within_groups, LocalRefineConfig};
+use crate::refine::{refine_within_groups_with, LocalRefineConfig};
 
 /// Multilevel configuration.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -163,7 +164,8 @@ impl MultilevelMapper {
             return self.map_direct(graph, system, rng);
         }
         let lower_bound = IdealSchedule::derive(graph).lower_bound();
-        let flat = Mapper::with_config(self.config.mapper.clone());
+        let flat =
+            Mapper::with_config(self.config.mapper.clone()).with_recorder(self.recorder.clone());
         let hierarchy = self.recorder.time("vcycle.coarsen", || {
             Hierarchy::from_system_hierarchy(graph, sys, self.config.direct_threshold)
         })?;
@@ -177,6 +179,9 @@ impl MultilevelMapper {
         let mut evaluations = top_result.refinement.iterations_used;
         let mut improvements = 0;
 
+        // One delta workspace serves every level's refinement pass; its
+        // buffers grow once to the finest level's size and are reused.
+        let mut refine_ws = DeltaWorkspace::new();
         for k in (0..hierarchy.coarsenings().len()).rev() {
             let level = &hierarchy.levels()[k];
             let coarsening = &hierarchy.coarsenings()[k];
@@ -197,12 +202,14 @@ impl MultilevelMapper {
                 model: self.config.mapper.model,
             };
             let out = self.recorder.time("vcycle.refine", || {
-                refine_within_groups(
+                refine_within_groups_with(
                     &level.graph,
                     &level.system,
                     coarsening.groups(),
                     &assignment,
                     &config,
+                    &self.recorder,
+                    &mut refine_ws,
                     rng,
                 )
             })?;
@@ -211,8 +218,7 @@ impl MultilevelMapper {
             improvements += out.improvements;
         }
 
-        let total_time =
-            evaluate_assignment(graph, system, &assignment, self.config.mapper.model)?.total();
+        let total_time = evaluate_total(graph, system, &assignment, self.config.mapper.model)?;
         Ok(MultilevelResult {
             assignment,
             total_time,
@@ -236,7 +242,8 @@ impl MultilevelMapper {
         self.recorder.incr("vcycle.runs");
         self.recorder.add("vcycle.levels", 1);
         let lower_bound = IdealSchedule::derive(graph).lower_bound();
-        let flat = Mapper::with_config(self.config.mapper.clone());
+        let flat =
+            Mapper::with_config(self.config.mapper.clone()).with_recorder(self.recorder.clone());
         let result = self
             .recorder
             .time("vcycle.initial_map", || flat.map(graph, system, rng))?;
@@ -306,6 +313,7 @@ fn prolong(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mimd_core::evaluate::evaluate_assignment;
     use mimd_core::schedule::EvaluationModel;
     use mimd_core::validate_schedule;
     use mimd_taskgraph::clustering::region::random_region_clustering;

@@ -23,13 +23,16 @@
 
 use rand::Rng;
 
-use mimd_core::evaluate::evaluate_assignment;
+use mimd_core::delta::{DeltaEvaluator, DeltaWorkspace};
+use mimd_core::evaluate::evaluate_total;
 use mimd_core::parallel::deterministic_map;
 use mimd_core::schedule::EvaluationModel;
+use mimd_core::shuffle::fisher_yates;
 use mimd_core::Assignment;
 use mimd_graph::error::GraphError;
 use mimd_graph::{NodeId, Time};
 use mimd_taskgraph::ClusteredProblemGraph;
+use mimd_telemetry::Recorder;
 use mimd_topology::SystemGraph;
 
 /// Objective and budget of a group-local refinement pass.
@@ -76,15 +79,43 @@ pub fn refine_within_groups(
     config: &LocalRefineConfig,
     rng: &mut impl Rng,
 ) -> Result<LocalRefineOutcome, GraphError> {
+    let mut ws = DeltaWorkspace::new();
+    refine_within_groups_with(
+        graph,
+        system,
+        groups,
+        start,
+        config,
+        &Recorder::disabled(),
+        &mut ws,
+        rng,
+    )
+}
+
+/// [`refine_within_groups`] with a caller-owned [`DeltaWorkspace`]
+/// (reused across V-cycle levels) and a telemetry recorder.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_within_groups_with(
+    graph: &ClusteredProblemGraph,
+    system: &SystemGraph,
+    groups: &[Vec<NodeId>],
+    start: &Assignment,
+    config: &LocalRefineConfig,
+    recorder: &Recorder,
+    ws: &mut DeltaWorkspace,
+    rng: &mut impl Rng,
+) -> Result<LocalRefineOutcome, GraphError> {
     // Plain total-time objective: the penalized-cost generalization in
     // `mimd-online` passes its own scorer through the same core.
-    refine_batched(
+    refine_batched_with(
         graph,
         system,
         groups,
         start,
         config,
         |_, total| u128::from(total),
+        recorder,
+        ws,
         rng,
     )
 }
@@ -109,6 +140,43 @@ pub fn refine_batched<S>(
 where
     S: Fn(&Assignment, Time) -> u128 + Sync,
 {
+    let mut ws = DeltaWorkspace::new();
+    refine_batched_with(
+        graph,
+        system,
+        groups,
+        start,
+        config,
+        score,
+        &Recorder::disabled(),
+        &mut ws,
+        rng,
+    )
+}
+
+/// [`refine_batched`] with a caller-owned [`DeltaWorkspace`] and
+/// telemetry recorder (`refine.candidates` / `refine.accepted`
+/// counters, batched once per call). When `threads <= 1` candidates are
+/// priced by the incremental [`DeltaEvaluator`] — only the disturbed
+/// scheduling cone is recomputed per candidate, with zero allocation —
+/// while `threads > 1` keeps the parallel full evaluations. Both arms
+/// produce bit-identical totals (the delta evaluator's contract), so
+/// the outcome stays invariant under the thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_batched_with<S>(
+    graph: &ClusteredProblemGraph,
+    system: &SystemGraph,
+    groups: &[Vec<NodeId>],
+    start: &Assignment,
+    config: &LocalRefineConfig,
+    score: S,
+    recorder: &Recorder,
+    ws: &mut DeltaWorkspace,
+    rng: &mut impl Rng,
+) -> Result<LocalRefineOutcome, GraphError>
+where
+    S: Fn(&Assignment, Time) -> u128 + Sync,
+{
     let LocalRefineConfig {
         lower_bound,
         rounds,
@@ -117,8 +185,16 @@ where
         model,
     } = *config;
     let batch = batch.max(1);
+    let mut evaluator = if threads <= 1 {
+        Some(DeltaEvaluator::attach(ws, graph, system, model, start)?)
+    } else {
+        None
+    };
     let mut best = start.clone();
-    let mut best_total = evaluate_assignment(graph, system, &best, model)?.total();
+    let mut best_total = match &evaluator {
+        Some(ev) => ev.total(),
+        None => evaluate_total(graph, system, &best, model)?,
+    };
     let mut best_cost = score(&best, best_total);
     let mut outcome = LocalRefineOutcome {
         assignment: best.clone(),
@@ -150,21 +226,26 @@ where
                 clusters.extend(group.iter().map(|&s| best.cluster_of(s)));
                 perm.clear();
                 perm.extend(0..group.len());
-                for i in (1..perm.len()).rev() {
-                    let j = rng.gen_range(0..=i);
-                    perm.swap(i, j);
-                }
+                fisher_yates(&mut perm, rng);
                 candidate.place_subset(&clusters, group, &perm);
             }
             candidates.push(candidate);
         }
         outcome.rounds_used += width;
 
-        let scored: Vec<Result<(Time, u128), GraphError>> =
-            deterministic_map(width, threads, |i| {
-                let total = evaluate_assignment(graph, system, &candidates[i], model)?.total();
+        let scored: Vec<Result<(Time, u128), GraphError>> = match evaluator.as_mut() {
+            Some(ev) => candidates
+                .iter()
+                .map(|candidate| {
+                    let total = ev.peek_candidate(candidate);
+                    Ok((total, score(candidate, total)))
+                })
+                .collect(),
+            None => deterministic_map(width, threads, |i| {
+                let total = evaluate_total(graph, system, &candidates[i], model)?;
                 Ok((total, score(&candidates[i], total)))
-            });
+            }),
+        };
         let mut winner: Option<(Time, u128, usize)> = None;
         for (i, result) in scored.into_iter().enumerate() {
             let (total, cost) = result?;
@@ -173,6 +254,9 @@ where
             }
         }
         if let Some((total, cost, i)) = winner {
+            if let Some(ev) = evaluator.as_mut() {
+                ev.apply_candidate(&candidates[i]);
+            }
             best = candidates.swap_remove(i);
             best_total = total;
             best_cost = cost;
@@ -182,6 +266,12 @@ where
                 break;
             }
         }
+    }
+    if outcome.rounds_used > 0 {
+        recorder.add("refine.candidates", outcome.rounds_used as u64);
+    }
+    if outcome.improvements > 0 {
+        recorder.add("refine.accepted", outcome.improvements as u64);
     }
     outcome.assignment = best;
     outcome.total = best_total;
@@ -274,14 +364,13 @@ mod tests {
         let a = run(9);
         let b = run(9);
         assert_eq!(a, b, "same seed, same outcome");
-        let start_total = evaluate_assignment(
+        let start_total = evaluate_total(
             &graph,
             &system,
             &Assignment::from_sys_of(vec![3, 2, 1, 0]).unwrap(),
             EvaluationModel::Precedence,
         )
-        .unwrap()
-        .total();
+        .unwrap();
         assert!(a.total <= start_total);
     }
 

@@ -38,7 +38,8 @@ pub mod replay;
 pub use bounds::IncrementalBound;
 pub use mapper::{IncrementalMapper, OnlineConfig, OnlineSession};
 pub use refine::{
-    count_moves, refine_with_migration, MigrationRefineConfig, MigrationRefineOutcome,
+    count_moves, refine_with_migration, refine_with_migration_with, MigrationRefineConfig,
+    MigrationRefineOutcome,
 };
 pub use replay::{
     read_trace, replay_trace, replay_trace_recorded, write_trace, ReplayRecord, ReplaySummary,

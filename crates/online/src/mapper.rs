@@ -26,6 +26,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use mimd_core::delta::DeltaWorkspace;
 use mimd_core::Assignment;
 use mimd_graph::error::GraphError;
 use mimd_graph::{NodeId, Time};
@@ -34,7 +35,7 @@ use mimd_taskgraph::{ClusterId, DynamicWorkload, TraceEvent};
 use mimd_telemetry::Recorder;
 
 use crate::bounds::IncrementalBound;
-use crate::refine::{count_moves, refine_with_migration, MigrationRefineConfig};
+use crate::refine::{count_moves, refine_with_migration_with, MigrationRefineConfig};
 use crate::replay::ReplayRecord;
 
 /// Tuning knobs of the incremental remapper.
@@ -160,6 +161,7 @@ impl IncrementalMapper {
             events_applied: 0,
             last_lower_bound: result.lower_bound,
             last_total: result.total_time,
+            refine_ws: DeltaWorkspace::new(),
         };
         Ok((session, record))
     }
@@ -183,6 +185,9 @@ pub struct OnlineSession {
     events_applied: usize,
     last_lower_bound: Time,
     last_total: Time,
+    /// Delta-evaluator buffers reused across every incremental
+    /// region-refinement pass of the session.
+    refine_ws: DeltaWorkspace,
 }
 
 impl OnlineSession {
@@ -272,13 +277,15 @@ impl OnlineSession {
                 lower_bound,
             };
             let out = recorder.time("online.region_refine", || {
-                refine_with_migration(
+                refine_with_migration_with(
                     &graph,
                     self.hierarchy.finest(),
                     &regions,
                     &self.assignment,
                     &self.assignment,
                     &config,
+                    &recorder,
+                    &mut self.refine_ws,
                     &mut self.rng,
                 )
             })?;

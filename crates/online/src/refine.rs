@@ -20,12 +20,14 @@
 
 use rand::Rng;
 
+use mimd_core::delta::DeltaWorkspace;
 use mimd_core::schedule::EvaluationModel;
 use mimd_core::Assignment;
 use mimd_graph::error::GraphError;
 use mimd_graph::{NodeId, Time};
-use mimd_multilevel::{refine_batched, LocalRefineConfig};
+use mimd_multilevel::{refine_batched_with, LocalRefineConfig};
 use mimd_taskgraph::ClusteredProblemGraph;
+use mimd_telemetry::Recorder;
 use mimd_topology::SystemGraph;
 
 /// Objective and budget of a migration-aware refinement pass.
@@ -84,8 +86,36 @@ pub fn refine_with_migration(
     config: &MigrationRefineConfig,
     rng: &mut impl Rng,
 ) -> Result<MigrationRefineOutcome, GraphError> {
+    let mut ws = DeltaWorkspace::new();
+    refine_with_migration_with(
+        graph,
+        system,
+        regions,
+        start,
+        reference,
+        config,
+        &Recorder::disabled(),
+        &mut ws,
+        rng,
+    )
+}
+
+/// [`refine_with_migration`] with a caller-owned [`DeltaWorkspace`]
+/// (sessions reuse one across events) and a telemetry recorder.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_with_migration_with(
+    graph: &ClusteredProblemGraph,
+    system: &SystemGraph,
+    regions: &[Vec<NodeId>],
+    start: &Assignment,
+    reference: &Assignment,
+    config: &MigrationRefineConfig,
+    recorder: &Recorder,
+    ws: &mut DeltaWorkspace,
+    rng: &mut impl Rng,
+) -> Result<MigrationRefineOutcome, GraphError> {
     let penalty = u128::from(config.migration_penalty);
-    let out = refine_batched(
+    let out = refine_batched_with(
         graph,
         system,
         regions,
@@ -98,6 +128,8 @@ pub fn refine_with_migration(
             model: config.model,
         },
         |candidate, total| u128::from(total) + penalty * count_moves(candidate, reference) as u128,
+        recorder,
+        ws,
         rng,
     )?;
     Ok(MigrationRefineOutcome {

@@ -14,6 +14,7 @@ use mimd_taskgraph::clustering::region::random_region_clustering;
 use mimd_taskgraph::{
     paper, ClusteredProblemGraph, GeneratorConfig, LayeredDagGenerator, ProblemGraph,
 };
+use mimd_telemetry::{GainLedger, Journal, JournalSnapshot, Recorder};
 
 use crate::args::{build_topology, parse_workload, Flags};
 
@@ -32,8 +33,16 @@ commands:
              [--greedy-clustering] [--serialized] [--gantt]
   simulate   (--tasks <n> | --workload <kind:params>) --spec <kind:params>
              [--seed <u64>] [--contention] [--serialize]
+  explain    (--tasks <n> | --workload <kind:params>) --spec <kind:params>
+             [--seed <u64>] [--algorithm <name>] [--clustering <kind>]
+             [--trace-out <file>] [--chrome-trace <file>]
+             — map once, then attribute the mapping's quality: JSON
+               report (loads, link traffic, hop histogram, critical
+               path, refinement gain ledger) on stdout, human tables
+               on stderr
   batch      <jobs.jsonl | -> [--threads <n>] [--summary] [--out <file>]
              [--profile] [--profile-json <file|->]
+             [--trace-out <file>] [--chrome-trace <file>]
              — run a JSONL stream of JobSpecs through the engine,
                emitting one JobResult JSONL line per job (stdin with -);
                --profile prints the telemetry phase breakdown to stderr
@@ -42,6 +51,7 @@ commands:
              [--clustering region|iid|sarkar|comm_greedy]
              [--summary] [--out <file>]
              [--profile] [--profile-json <file|->]
+             [--trace-out <file>] [--chrome-trace <file>]
              — run the cross-product workloads × topologies × algorithms
                × seeds through the engine
   trace      (--tasks <n> | --workload <kind:params>) --spec <kind:params>
@@ -52,17 +62,22 @@ commands:
              [--staleness <f>] [--local-rounds <n>] [--region-size <n>]
              [--scratch] [--summary] [--out <file>]
              [--profile] [--profile-json <file|->]
+             [--trace-out <file>] [--chrome-trace <file>]
              — replay a trace through the incremental remapper, one
                JSONL record per event (--scratch forces a full V-cycle
                per event for comparison); --profile prints phase timing
-               to stderr, never touching the stdout record stream
-  serve      [--max-sessions <n>] [--telemetry]
+               to stderr, never touching the stdout record stream;
+               --trace-out/--chrome-trace export the event journal
+  serve      [--max-sessions <n>] [--telemetry] [--slow-ms <n>]
+             [--trace-out <file>] [--chrome-trace <file>]
              — long-running MappingService loop: one JSONL Request per
                stdin line (map_once | open_session | apply |
                close_session | catalog | stats), one JSONL Response per
                stdout line; sessions share topology artifacts with
                one-shot jobs through one cache; --telemetry records
-               spans/counters served back by the stats op
+               spans/counters served back by the stats op; --slow-ms
+               logs slow requests to stderr; --trace-out/--chrome-trace
+               export the event journal on exit
   algorithms (no flags) — list every registry algorithm with a
                one-line description
   paper      (no flags) — reproduce the worked example's artifacts
@@ -94,6 +109,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "topology" => cmd_topology(&flags),
         "map" => cmd_map(&flags),
         "simulate" => cmd_simulate(&flags),
+        "explain" => cmd_explain(&flags),
         "sweep" => cmd_sweep(&flags),
         "trace" => cmd_trace(&flags),
         "replay" => cmd_replay(&flags),
@@ -456,6 +472,8 @@ fn cmd_replay(flags: &Flags) -> Result<(), String> {
         "out",
         "profile",
         "profile-json",
+        "trace-out",
+        "chrome-trace",
     ])?;
     if flags.has("scratch") && flags.has("staleness") {
         return Err(
@@ -492,6 +510,7 @@ fn cmd_replay(flags: &Flags) -> Result<(), String> {
     // batch/session traffic share the hierarchy (and its counters).
     let service = mimd_service::MappingService::new(mimd_service::ServiceConfig {
         telemetry: profiling(flags)?,
+        journal: journaling(flags)?,
         ..mimd_service::ServiceConfig::default()
     });
 
@@ -548,6 +567,7 @@ fn cmd_replay(flags: &Flags) -> Result<(), String> {
         eprintln!("{}", table.render());
     }
     emit_profile(&service, flags)?;
+    emit_journal(&service.journal_snapshot(), flags)?;
     Ok(())
 }
 
@@ -558,17 +578,32 @@ fn cmd_replay(flags: &Flags) -> Result<(), String> {
 /// traffic through one cache; per-session seeding is deterministic, so
 /// a served trace is byte-identical to `mimd replay` on the same trace.
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
-    flags.allow_only(&["max-sessions", "telemetry"])?;
+    flags.allow_only(&[
+        "max-sessions",
+        "telemetry",
+        "slow-ms",
+        "trace-out",
+        "chrome-trace",
+    ])?;
+    let slow_ms: Option<u64> = flags
+        .get("slow-ms")
+        .map(|v| v.parse().map_err(|_| format!("bad --slow-ms '{v}'")))
+        .transpose()?;
     let defaults = mimd_service::ServiceConfig::default();
     let service = mimd_service::MappingService::new(mimd_service::ServiceConfig {
         max_sessions: flags.num("max-sessions", defaults.max_sessions)?,
-        telemetry: flags.has("telemetry"),
+        // --slow-ms implies telemetry so the serve.slow_requests
+        // counter lands in the stats line the loop prints on exit.
+        telemetry: flags.has("telemetry") || slow_ms.is_some(),
+        journal: journaling(flags)?,
         ..defaults
     });
-    let summary = match mimd_service::serve_jsonl(
+    let summary = match mimd_service::serve_jsonl_with(
         &service,
         std::io::stdin().lock(),
         std::io::stdout().lock(),
+        std::io::stderr(),
+        mimd_service::ServeOptions { slow_ms },
     ) {
         Ok(summary) => summary,
         // Consumer closed the pipe: conventional clean stop.
@@ -577,14 +612,16 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     };
     let stats = service.stats();
     eprintln!(
-        "serve: {} requests ({} errors); {}",
+        "serve: {} requests ({} errors, {} slow); {}",
         summary.requests,
         summary.errors,
+        summary.slow_requests,
         serde_json::to_string(&stats).map_err(|e| e.to_string())?,
     );
     if flags.has("telemetry") {
         eprint!("{}", mimd_report::render_profile(&stats.telemetry));
     }
+    emit_journal(&service.journal_snapshot(), flags)?;
     Ok(())
 }
 
@@ -677,6 +714,127 @@ fn emit_profile(service: &mimd_service::MappingService, flags: &Flags) -> Result
     Ok(())
 }
 
+/// `true` iff a journal-export flag asked for event capture; rejects a
+/// valueless `--trace-out`/`--chrome-trace` up front, before any work
+/// runs.
+fn journaling(flags: &Flags) -> Result<bool, String> {
+    for name in ["trace-out", "chrome-trace"] {
+        if flags.has(name) && flags.get(name).is_none() {
+            return Err(format!("--{name} needs a file path"));
+        }
+    }
+    Ok(flags.has("trace-out") || flags.has("chrome-trace"))
+}
+
+/// Shared tail of `--trace-out` / `--chrome-trace`: write the frozen
+/// journal ring as JSONL events and/or a Chrome `trace_event` file.
+/// Exports always go to files — stdout stays reserved for the
+/// command's record stream, which is byte-identical with or without
+/// the journal enabled.
+fn emit_journal(snapshot: &JournalSnapshot, flags: &Flags) -> Result<(), String> {
+    if let Some(path) = flags.get("trace-out") {
+        std::fs::write(path, snapshot.to_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(path) = flags.get("chrome-trace") {
+        std::fs::write(path, snapshot.to_chrome_trace()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// `mimd explain`: run one job with the gain ledger (and optionally the
+/// event journal) enabled, then attribute the finished mapping —
+/// per-processor loads, per-link routed traffic, the hop histogram,
+/// the schedule critical path and the per-pass refinement gain ledger.
+/// The JSON report goes to stdout; the human tables go to stderr, so
+/// the report stays machine-consumable.
+fn cmd_explain(flags: &Flags) -> Result<(), String> {
+    flags.allow_only(&[
+        "tasks",
+        "workload",
+        "spec",
+        "seed",
+        "algorithm",
+        "clustering",
+        "trace-out",
+        "chrome-trace",
+    ])?;
+    let spec_text = flags.get("spec").ok_or("explain needs --spec")?;
+    let workload = match flags.get("workload") {
+        Some(spec) => mimd_engine::WorkloadSpec::parse(spec)?,
+        None => {
+            let tasks = flags.num("tasks", 96usize)?;
+            mimd_engine::WorkloadSpec::parse(&format!("tasks:{tasks}"))?
+        }
+    };
+    let clustering = flags
+        .get("clustering")
+        .map(mimd_engine::ClusteringSpec::parse)
+        .transpose()?;
+    let job = mimd_engine::JobSpec {
+        id: None,
+        workload,
+        clustering,
+        topology: crate::args::parse_topology(spec_text)?,
+        topology_seed: None,
+        algorithm: mimd_engine::AlgorithmSpec::parse(flags.get("algorithm").unwrap_or("paper"))?,
+        seed: flags.num("seed", 1991u64)?,
+    };
+
+    // The ledger is the whole point of explain; the journal only rides
+    // along when an export was requested.
+    let mut recorder = Recorder::disabled().with_ledger(GainLedger::enabled());
+    if journaling(flags)? {
+        recorder = recorder.with_journal(Journal::enabled());
+    }
+    let cache = mimd_engine::TopologyCache::new();
+    let result = mimd_engine::execute_job_recorded(&job, 0, &cache, &recorder);
+    if let Some(message) = &result.error {
+        return Err(message.clone());
+    }
+
+    // Rebuild the instance the engine mapped — same seed, same
+    // derivation order as the engine's own execution path — so the
+    // report attributes the assignment against the exact graph it was
+    // computed for.
+    let artifacts = cache
+        .get_or_build(&job.topology, job.topology_seed())
+        .map_err(|e| format!("topology: {e}"))?;
+    let system = &artifacts.system;
+    let mut rng = StdRng::seed_from_u64(job.seed);
+    let problem = job
+        .workload
+        .build(&mut rng)
+        .map_err(|e| format!("workload: {e}"))?;
+    let clustering = job
+        .clustering()
+        .build(&problem, system.len(), &mut rng)
+        .map_err(|e| format!("clustering: {e}"))?;
+    let graph = ClusteredProblemGraph::new(problem, clustering).map_err(|e| e.to_string())?;
+    let assignment =
+        Assignment::from_sys_of(result.assignment.clone()).map_err(|e| e.to_string())?;
+    let routing = mimd_sim::RoutingTable::new(system);
+    let report = mimd_sim::ExplainReport::compute(
+        &graph,
+        system,
+        &routing,
+        &assignment,
+        EvaluationModel::Precedence,
+        recorder.ledger().snapshot(),
+    )
+    .map_err(|e| e.to_string())?;
+    report
+        .validate()
+        .map_err(|e| format!("internal: inconsistent explain report: {e}"))?;
+
+    eprint!("{}", mimd_report::render_explain(&report));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+    );
+    emit_journal(&recorder.journal().snapshot(), flags)?;
+    Ok(())
+}
+
 /// Shared tail of `batch` and `sweep`, a thin client of the unified
 /// [`mimd_service::MappingService`]: run the jobs, stream JSONL
 /// results (to stdout or `--out`), and optionally print the aggregate
@@ -698,6 +856,7 @@ fn run_jobs_and_emit(
             ..mimd_engine::EngineConfig::default()
         },
         telemetry: profiling(flags)?,
+        journal: journaling(flags)?,
         ..mimd_service::ServiceConfig::default()
     });
 
@@ -765,6 +924,7 @@ fn run_jobs_and_emit(
         );
     }
     emit_profile(&service, flags)?;
+    emit_journal(&service.journal_snapshot(), flags)?;
     match input_error {
         Some(e) => Err(e),
         None => Ok(()),
@@ -772,7 +932,15 @@ fn run_jobs_and_emit(
 }
 
 fn cmd_batch(input: &str, flags: &Flags) -> Result<(), String> {
-    flags.allow_only(&["threads", "summary", "out", "profile", "profile-json"])?;
+    flags.allow_only(&[
+        "threads",
+        "summary",
+        "out",
+        "profile",
+        "profile-json",
+        "trace-out",
+        "chrome-trace",
+    ])?;
     if input == "-" {
         run_jobs_and_emit(
             mimd_engine::job_lines(std::io::stdin().lock()),
@@ -801,6 +969,8 @@ fn cmd_sweep(flags: &Flags) -> Result<(), String> {
         "out",
         "profile",
         "profile-json",
+        "trace-out",
+        "chrome-trace",
     ])?;
     let parse_list = |name: &str| -> Result<Vec<String>, String> {
         let raw = flags
@@ -1194,6 +1364,126 @@ mod tests {
         let profile = std::fs::read_to_string(&prof).unwrap();
         assert!(profile.contains("\"online.events\": 25"), "{profile}");
         assert!(profile.contains("online.region_refine"), "{profile}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explain_runs_and_exports_journals() {
+        let dir = std::env::temp_dir().join("mimd-cli-explain-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        run(&[
+            "explain",
+            "--tasks",
+            "64",
+            "--spec",
+            "torus:4x4",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        run(&[
+            "explain",
+            "--workload",
+            "fft:4",
+            "--spec",
+            "hypercube:3",
+            "--algorithm",
+            "multilevel",
+        ])
+        .unwrap();
+        let events = dir.join("events.jsonl");
+        let chrome = dir.join("chrome.json");
+        run(&[
+            "explain",
+            "--tasks",
+            "48",
+            "--spec",
+            "ring:6",
+            "--trace-out",
+            events.to_str().unwrap(),
+            "--chrome-trace",
+            chrome.to_str().unwrap(),
+        ])
+        .unwrap();
+        let jsonl = std::fs::read_to_string(&events).unwrap();
+        assert!(!jsonl.trim().is_empty(), "journal export has events");
+        for line in jsonl.lines() {
+            let event: mimd_telemetry::Event = serde_json::from_str(line).unwrap();
+            assert!(!event.name.is_empty());
+        }
+        let trace = std::fs::read_to_string(&chrome).unwrap();
+        let parsed = serde_json::parse_value(&trace).unwrap();
+        assert!(trace.contains("traceEvents"), "{parsed:?}");
+        // Misuse is rejected.
+        assert!(
+            run(&["explain", "--tasks", "40"]).is_err(),
+            "missing --spec"
+        );
+        assert!(
+            run(&[
+                "explain",
+                "--tasks",
+                "40",
+                "--spec",
+                "ring:4",
+                "--trace-out"
+            ])
+            .is_err(),
+            "valueless --trace-out"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_stdout_is_byte_identical_with_trace_out() {
+        let dir = std::env::temp_dir().join("mimd-cli-traceout-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.jsonl");
+        run(&[
+            "trace",
+            "--tasks",
+            "64",
+            "--spec",
+            "mesh:4x4",
+            "--events",
+            "12",
+            "--seed",
+            "9",
+            "--out",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        let plain = dir.join("plain.jsonl");
+        run(&[
+            "replay",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--seed",
+            "9",
+            "--out",
+            plain.to_str().unwrap(),
+        ])
+        .unwrap();
+        let journaled = dir.join("journaled.jsonl");
+        let events = dir.join("events.jsonl");
+        run(&[
+            "replay",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--seed",
+            "9",
+            "--out",
+            journaled.to_str().unwrap(),
+            "--trace-out",
+            events.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&plain).unwrap(),
+            std::fs::read_to_string(&journaled).unwrap(),
+            "the journal never changes replay output"
+        );
+        assert!(!std::fs::read_to_string(&events).unwrap().trim().is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 

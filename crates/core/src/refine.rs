@@ -123,6 +123,10 @@ pub fn refine(
 /// calls — zero allocation per candidate) and a telemetry recorder:
 /// candidate evaluations land on the `refine.candidates` counter and
 /// accepted improvements on `refine.accepted`, batched once per pass.
+/// When the recorder carries a gain ledger, the run opens with a
+/// baseline entry and every accepted candidate lands as a `flat.random`
+/// / `flat.exchange` entry (or the recorder's gain scope), so summed
+/// gains telescope to `initial_total - total` exactly.
 #[allow(clippy::too_many_arguments)]
 pub fn refine_with(
     graph: &ClusteredProblemGraph,
@@ -135,7 +139,17 @@ pub fn refine_with(
     ws: &mut DeltaWorkspace,
     rng: &mut impl Rng,
 ) -> Result<RefineOutcome, GraphError> {
-    let outcome = refine_inner(graph, system, start, pinned, lower_bound, config, ws, rng)?;
+    let outcome = refine_inner(
+        graph,
+        system,
+        start,
+        pinned,
+        lower_bound,
+        config,
+        recorder,
+        ws,
+        rng,
+    )?;
     if outcome.iterations_used > 0 {
         recorder.add("refine.candidates", outcome.iterations_used as u64);
     }
@@ -153,6 +167,7 @@ fn refine_inner(
     pinned: &[bool],
     lower_bound: Time,
     config: &RefineConfig,
+    recorder: &Recorder,
     ws: &mut DeltaWorkspace,
     rng: &mut impl Rng,
 ) -> Result<RefineOutcome, GraphError> {
@@ -168,6 +183,7 @@ fn refine_inner(
     let initial_total = best_total;
     let mut improvements = 0;
     let mut iterations_used = 0;
+    recorder.gain_run_start("flat.random", initial_total);
 
     if best_total == lower_bound {
         return Ok(RefineOutcome {
@@ -205,6 +221,7 @@ fn refine_inner(
         let total = evaluator.stage_place(&movable, &free_sys, &perm);
         if total == lower_bound {
             evaluator.commit();
+            recorder.gain("flat.random", best_total as i64 - total as i64, total);
             return Ok(RefineOutcome {
                 assignment: evaluator.assignment().clone(),
                 total,
@@ -216,6 +233,7 @@ fn refine_inner(
         }
         if total < best_total {
             evaluator.commit();
+            recorder.gain("flat.random", best_total as i64 - total as i64, total);
             best_total = total;
             improvements += 1;
         } else {
@@ -232,6 +250,7 @@ fn refine_inner(
             pinned,
             config,
             lower_bound,
+            recorder,
             &mut best_total,
             &mut iterations_used,
             &mut improvements,
@@ -261,6 +280,7 @@ fn exchange_pass(
     pinned: &[bool],
     config: &RefineConfig,
     lower_bound: Time,
+    recorder: &Recorder,
     best_total: &mut Time,
     iterations_used: &mut usize,
     improvements: &mut usize,
@@ -296,6 +316,7 @@ fn exchange_pass(
             if total < *best_total {
                 evaluator.commit();
                 table.apply_swap(a, b, evaluator.assignment(), system);
+                recorder.gain("flat.exchange", *best_total as i64 - total as i64, total);
                 *best_total = total;
                 *improvements += 1;
                 accepted = true;
@@ -568,6 +589,42 @@ mod tests {
             out.iterations_used as u64
         );
         assert_eq!(snapshot.counter("refine.accepted"), out.improvements as u64);
+    }
+
+    #[test]
+    fn gain_ledger_telescopes_to_the_makespan_delta() {
+        use mimd_telemetry::{split_runs, GainKind, GainLedger};
+        let (g, sys) = worked();
+        let bad = Assignment::from_sys_of(vec![3, 2, 1, 0]).unwrap();
+        let recorder = Recorder::enabled().with_ledger(GainLedger::enabled());
+        let mut ws = DeltaWorkspace::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = RefineConfig {
+            iterations: 50,
+            exchange_pool: 16,
+            ..RefineConfig::paper(4)
+        };
+        let out = refine_with(
+            &g,
+            &sys,
+            &bad,
+            &[false; 4],
+            14,
+            &cfg,
+            &recorder,
+            &mut ws,
+            &mut rng,
+        )
+        .unwrap();
+        let entries = recorder.ledger().snapshot();
+        assert_eq!(entries[0].kind, GainKind::Baseline);
+        assert_eq!(entries[0].total_after, out.initial_total);
+        assert_eq!(entries.len(), out.improvements + 1);
+        let runs = split_runs(&entries);
+        assert_eq!(runs.len(), 1);
+        let summed: i64 = entries.iter().map(|e| e.gain).sum();
+        assert_eq!(summed, out.initial_total as i64 - out.total as i64);
+        assert_eq!(entries.last().unwrap().total_after, out.total);
     }
 
     #[test]

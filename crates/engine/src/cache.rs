@@ -61,6 +61,23 @@ impl TopologyArtifacts {
             .get_or_init(|| SystemHierarchy::build(&self.system).map(Arc::new))
             .clone()
     }
+
+    /// Estimated resident bytes of these artifacts: the `n²` `u32` APSP
+    /// hop matrix, the `n²` `u32` next-hop routing table, and — once
+    /// built — every coarsened level's APSP matrix in the hierarchy.
+    /// An estimate for capacity planning (`ServiceStats`), not an exact
+    /// allocator measurement.
+    pub fn estimated_resident_bytes(&self) -> u64 {
+        let n = self.system.len() as u64;
+        let mut bytes = n * n * 4 * 2;
+        if let Some(Ok(hierarchy)) = self.hierarchy.get() {
+            for sys in hierarchy.systems() {
+                let m = sys.len() as u64;
+                bytes += m * m * 4;
+            }
+        }
+        bytes
+    }
 }
 
 /// Cache statistics snapshot. Serde-serializable so services can report
@@ -78,6 +95,13 @@ pub struct CacheStats {
     pub hierarchy_hits: usize,
     /// Hierarchy lookups that had to build it.
     pub hierarchy_misses: usize,
+    /// Hierarchies built so far (across all entries).
+    #[serde(default)]
+    pub hierarchy_entries: usize,
+    /// Estimated bytes resident across all built artifacts (APSP +
+    /// routing tables + built hierarchies).
+    #[serde(default)]
+    pub resident_bytes: u64,
 }
 
 /// One slot per interned key; built at most once.
@@ -171,14 +195,31 @@ impl TopologyCache {
         result
     }
 
-    /// Current statistics.
+    /// Current statistics, including the estimated resident footprint
+    /// of everything built so far.
     pub fn stats(&self) -> CacheStats {
+        let (entries, hierarchy_entries, resident_bytes) = {
+            let slots = self.slots.lock();
+            let mut hierarchies = 0;
+            let mut bytes = 0u64;
+            for slot in slots.values() {
+                if let Some(Ok(artifacts)) = slot.cell.get() {
+                    bytes += artifacts.estimated_resident_bytes();
+                    if matches!(artifacts.hierarchy.get(), Some(Ok(_))) {
+                        hierarchies += 1;
+                    }
+                }
+            }
+            (slots.len(), hierarchies, bytes)
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.slots.lock().len(),
+            entries,
             hierarchy_hits: self.hierarchy_hits.load(Ordering::Relaxed),
             hierarchy_misses: self.hierarchy_misses.load(Ordering::Relaxed),
+            hierarchy_entries,
+            resident_bytes,
         }
     }
 }
@@ -268,6 +309,31 @@ mod tests {
         let other = cache.get_or_build(&TopologySpec::Ring { n: 8 }, 0).unwrap();
         drop(other);
         assert_eq!(cache.stats().hierarchy_misses, 1);
+    }
+
+    #[test]
+    fn resident_bytes_track_what_is_built() {
+        let cache = TopologyCache::new();
+        assert_eq!(cache.stats().resident_bytes, 0);
+        let spec = TopologySpec::Ring { n: 8 };
+        let artifacts = cache.get_or_build(&spec, 0).unwrap();
+        // APSP + routing: two 8x8 u32 matrices.
+        let base = 8 * 8 * 4 * 2;
+        assert_eq!(cache.stats().resident_bytes, base);
+        assert_eq!(cache.stats().hierarchy_entries, 0);
+        let direct = artifacts.estimated_resident_bytes();
+        assert_eq!(direct, base);
+        // Building the hierarchy grows the estimate by each level's
+        // APSP matrix and flips the hierarchy gauge.
+        cache.system_hierarchy(&artifacts).unwrap();
+        let stats = cache.stats();
+        assert!(stats.resident_bytes > base);
+        assert_eq!(stats.hierarchy_entries, 1);
+        assert_eq!(
+            stats.resident_bytes,
+            artifacts.estimated_resident_bytes(),
+            "cache total equals the single entry's estimate"
+        );
     }
 
     #[test]

@@ -220,15 +220,20 @@ impl Engine {
         if self.cancel.is_cancelled() {
             return JobResult::failed(spec, index, "cancelled".to_string());
         }
-        if !self.recorder.is_enabled() {
+        if !self.recorder.is_enabled()
+            && !self.recorder.journal().is_enabled()
+            && !self.recorder.ledger().is_enabled()
+        {
             return execute_job(spec, index, &self.cache);
         }
-        self.recorder.incr("engine.jobs");
+        // Journal events from this job carry its batch index as the
+        // job id; counters and histograms are shared as before.
+        let recorder = self.recorder.clone().with_job(index as u64);
+        recorder.incr("engine.jobs");
         // Time from batch submission to this job leaving the queue.
-        self.recorder
-            .record_duration("engine.queue_wait", batch_start.elapsed());
-        let _span = self.recorder.span("engine.job");
-        execute_job_recorded(spec, index, &self.cache, &self.recorder)
+        recorder.record_duration("engine.queue_wait", batch_start.elapsed());
+        let _span = recorder.span("engine.job");
+        execute_job_recorded(spec, index, &self.cache, &recorder)
     }
 }
 

@@ -164,14 +164,20 @@ impl MultilevelMapper {
             return self.map_direct(graph, system, rng);
         }
         let lower_bound = IdealSchedule::derive(graph).lower_bound();
-        let flat =
-            Mapper::with_config(self.config.mapper.clone()).with_recorder(self.recorder.clone());
         let hierarchy = self.recorder.time("vcycle.coarsen", || {
             Hierarchy::from_system_hierarchy(graph, sys, self.config.direct_threshold)
         })?;
         self.recorder.incr("vcycle.runs");
         self.recorder.add("vcycle.levels", hierarchy.depth() as u64);
         let top = hierarchy.top();
+        // The top-level flat solve reports its ledger gains as the
+        // V-cycle's initial map, at the level index above the finest
+        // coarsening (levels count down to 0 = input graph).
+        let flat = Mapper::with_config(self.config.mapper.clone()).with_recorder(
+            self.recorder
+                .clone()
+                .with_gain_scope("vcycle.initial_map", hierarchy.coarsenings().len() as u32),
+        );
         let top_result = self.recorder.time("vcycle.initial_map", || {
             flat.map(&top.graph, &top.system, rng)
         })?;
@@ -201,6 +207,10 @@ impl MultilevelMapper {
                 threads: self.config.refine_threads,
                 model: self.config.mapper.model,
             };
+            let scoped = self
+                .recorder
+                .clone()
+                .with_gain_scope("vcycle.refine", k as u32);
             let out = self.recorder.time("vcycle.refine", || {
                 refine_within_groups_with(
                     &level.graph,
@@ -208,7 +218,7 @@ impl MultilevelMapper {
                     coarsening.groups(),
                     &assignment,
                     &config,
-                    &self.recorder,
+                    &scoped,
                     &mut refine_ws,
                     rng,
                 )

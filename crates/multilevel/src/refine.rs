@@ -196,6 +196,7 @@ where
         None => evaluate_total(graph, system, &best, model)?,
     };
     let mut best_cost = score(&best, best_total);
+    recorder.gain_run_start("local.refine", best_total);
     let mut outcome = LocalRefineOutcome {
         assignment: best.clone(),
         total: best_total,
@@ -258,6 +259,7 @@ where
                 ev.apply_candidate(&candidates[i]);
             }
             best = candidates.swap_remove(i);
+            recorder.gain("local.refine", best_total as i64 - total as i64, total);
             best_total = total;
             best_cost = cost;
             outcome.improvements += 1;

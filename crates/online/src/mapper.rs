@@ -276,6 +276,9 @@ impl OnlineSession {
                 model: self.config.multilevel.mapper.model,
                 lower_bound,
             };
+            // Region repair runs on the finest level; ledger entries
+            // attribute to the online pass rather than `local.refine`.
+            let scoped = recorder.clone().with_gain_scope("online.region", 0);
             let out = recorder.time("online.region_refine", || {
                 refine_with_migration_with(
                     &graph,
@@ -284,7 +287,7 @@ impl OnlineSession {
                     &self.assignment,
                     &self.assignment,
                     &config,
-                    &recorder,
+                    &scoped,
                     &mut self.refine_ws,
                     &mut self.rng,
                 )

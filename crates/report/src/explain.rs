@@ -1,0 +1,239 @@
+//! Rendering an [`ExplainReport`] as the `mimd explain` human tables:
+//! the headline summary, per-processor loads, the hottest links, the
+//! hop histogram, the critical path and the per-pass gain ledger
+//! rollup.
+//!
+//! Everything rendered here is structural (no clocks), but the tables
+//! exist for humans on stderr — the machine-readable form is the JSON
+//! report on stdout.
+
+use std::collections::BTreeMap;
+
+use mimd_sim::ExplainReport;
+
+use crate::table::Table;
+
+/// How many per-link rows the links table shows (hottest first).
+const LINK_ROWS: usize = 12;
+/// How many critical-path rows the path table shows (tail kept).
+const PATH_ROWS: usize = 16;
+
+fn ratio_x1000(x: u64) -> String {
+    format!("{}.{:03}", x / 1000, x % 1000)
+}
+
+/// Render the full human-readable explain report.
+pub fn render_explain(report: &ExplainReport) -> String {
+    let mut out = String::new();
+
+    let mut summary = Table::new("mapping summary", &["metric", "value"]);
+    summary.push_row(vec!["tasks".into(), report.tasks.to_string()]);
+    summary.push_row(vec![
+        "clusters / processors".into(),
+        format!("{} / {}", report.clusters, report.processors),
+    ]);
+    summary.push_row(vec!["model".into(), format!("{:?}", report.model)]);
+    summary.push_row(vec!["makespan".into(), report.makespan.to_string()]);
+    summary.push_row(vec![
+        "total compute".into(),
+        report.total_compute.to_string(),
+    ]);
+    summary.push_row(vec![
+        "load imbalance (max/mean)".into(),
+        ratio_x1000(report.imbalance_x1000),
+    ]);
+    summary.push_row(vec![
+        "comm weight (cut)".into(),
+        report.total_comm_weight.to_string(),
+    ]);
+    summary.push_row(vec![
+        "routed traffic (w x hops)".into(),
+        report.total_traffic.to_string(),
+    ]);
+    summary.push_row(vec![
+        "dilation (mean hops)".into(),
+        ratio_x1000(report.dilation_x1000),
+    ]);
+    summary.push_row(vec![
+        "max link congestion".into(),
+        report.max_link_traffic.to_string(),
+    ]);
+    out.push_str(&summary.render());
+
+    out.push('\n');
+    let mut loads = Table::new("processor loads", &["proc", "compute", "share"]);
+    for (p, &load) in report.loads.iter().enumerate() {
+        let share = (load * 1000).checked_div(report.total_compute).unwrap_or(0);
+        loads.push_row(vec![
+            p.to_string(),
+            load.to_string(),
+            format!("{}.{:01}%", share / 10, share % 10),
+        ]);
+    }
+    out.push_str(&loads.render());
+
+    if !report.links.is_empty() {
+        out.push('\n');
+        let mut hottest: Vec<_> = report.links.clone();
+        hottest.sort_by(|a, b| b.traffic.cmp(&a.traffic).then(a.from.cmp(&b.from)));
+        let shown = hottest.len().min(LINK_ROWS);
+        let mut links = Table::new(
+            format!(
+                "hottest links ({shown} of {} carrying traffic)",
+                report.links.len()
+            ),
+            &["link", "traffic"],
+        );
+        for l in hottest.iter().take(LINK_ROWS) {
+            links.push_row(vec![
+                format!("{} -> {}", l.from, l.to),
+                l.traffic.to_string(),
+            ]);
+        }
+        out.push_str(&links.render());
+    }
+
+    if !report.hop_histogram.is_empty() {
+        out.push('\n');
+        let mut hops = Table::new(
+            "communication distance",
+            &["hops", "messages", "weight", "cost"],
+        );
+        for bin in &report.hop_histogram {
+            hops.push_row(vec![
+                bin.hops.to_string(),
+                bin.messages.to_string(),
+                bin.weight.to_string(),
+                bin.cost.to_string(),
+            ]);
+        }
+        out.push_str(&hops.render());
+    }
+
+    if !report.critical_path.is_empty() {
+        out.push('\n');
+        let total = report.critical_path.len();
+        let skip = total.saturating_sub(PATH_ROWS);
+        let mut path = Table::new(
+            format!("critical path ({total} tasks)"),
+            &["task", "cluster", "proc", "start", "end"],
+        );
+        if skip > 0 {
+            path.push_row(vec![
+                format!("... {skip} earlier"),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]);
+        }
+        for step in report.critical_path.iter().skip(skip) {
+            path.push_row(vec![
+                step.task.to_string(),
+                step.cluster.to_string(),
+                step.proc.to_string(),
+                step.start.to_string(),
+                step.end.to_string(),
+            ]);
+        }
+        out.push_str(&path.render());
+    }
+
+    out.push('\n');
+    if report.ledger.is_empty() {
+        out.push_str("gain ledger: (empty — run with the ledger enabled)\n");
+    } else {
+        // Roll the ledger up per (pass, level): how many accepted moves,
+        // how much gained, where the trajectory ended.
+        let mut rollup: BTreeMap<(String, u32), (u64, i64, u64)> = BTreeMap::new();
+        for entry in &report.ledger {
+            let agg = rollup
+                .entry((entry.pass.clone(), entry.level))
+                .or_insert((0, 0, 0));
+            if entry.kind == mimd_telemetry::GainKind::Accept {
+                agg.0 += 1;
+                agg.1 += entry.gain;
+            }
+            agg.2 = entry.total_after;
+        }
+        let mut ledger = Table::new(
+            format!("gain ledger ({} entries)", report.ledger.len()),
+            &["pass", "level", "accepted", "gain", "makespan after"],
+        );
+        for ((pass, level), (accepted, gain, after)) in &rollup {
+            ledger.push_row(vec![
+                pass.clone(),
+                level.to_string(),
+                accepted.to_string(),
+                gain.to_string(),
+                after.to_string(),
+            ]);
+        }
+        out.push_str(&ledger.render());
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimd_core::schedule::EvaluationModel;
+    use mimd_core::Assignment;
+    use mimd_sim::RoutingTable;
+    use mimd_taskgraph::paper;
+    use mimd_telemetry::GainLedger;
+    use mimd_topology::ring;
+
+    fn report() -> ExplainReport {
+        let graph = paper::worked_example();
+        let system = ring(4).unwrap();
+        let routing = RoutingTable::new(&system);
+        let assignment = Assignment::from_sys_of(vec![3, 2, 1, 0]).unwrap();
+        let ledger = GainLedger::enabled();
+        ledger.baseline("flat.random", 0, 30);
+        ledger.accept("flat.random", 0, 8, 22);
+        ledger.accept("flat.exchange", 0, 2, 20);
+        ExplainReport::compute(
+            &graph,
+            &system,
+            &routing,
+            &assignment,
+            EvaluationModel::Precedence,
+            ledger.snapshot(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn renders_every_section() {
+        let r = render_explain(&report());
+        for section in [
+            "mapping summary",
+            "processor loads",
+            "hottest links",
+            "communication distance",
+            "critical path",
+            "gain ledger",
+        ] {
+            assert!(r.contains(section), "missing {section}:\n{r}");
+        }
+        assert!(r.contains("flat.random"), "{r}");
+        assert!(r.contains("flat.exchange"), "{r}");
+    }
+
+    #[test]
+    fn empty_ledger_renders_a_hint() {
+        let mut rep = report();
+        rep.ledger.clear();
+        let r = render_explain(&rep);
+        assert!(r.contains("gain ledger: (empty"), "{r}");
+    }
+
+    #[test]
+    fn ratio_formatting_is_fixed_point() {
+        assert_eq!(ratio_x1000(1000), "1.000");
+        assert_eq!(ratio_x1000(1375), "1.375");
+        assert_eq!(ratio_x1000(0), "0.000");
+    }
+}

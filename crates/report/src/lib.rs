@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod explain;
 pub mod gantt;
 pub mod histogram;
 pub mod profile;
@@ -20,6 +21,7 @@ pub mod stats;
 pub mod table;
 
 pub use batch::BatchSummary;
+pub use explain::render_explain;
 pub use gantt::{Gantt, GanttTask};
 pub use histogram::{BucketChart, Histogram};
 pub use profile::render_profile;

@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 
 use mimd_engine::{CacheStats, JobResult, JobSpec};
 use mimd_online::{OnlineConfig, ReplayRecord, TraceEvent, TraceHeader};
-use mimd_telemetry::TelemetrySnapshot;
+use mimd_telemetry::{JournalStats, TelemetrySnapshot};
 
 /// One request line of the service protocol.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -69,6 +69,27 @@ impl Request {
     /// Parse from one JSONL line.
     pub fn from_json_line(line: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(line)
+    }
+
+    /// The wire-format op name (the serde `op` tag) — used for
+    /// slow-request diagnostics without re-serializing the request.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::MapOnce { .. } => "map_once",
+            Request::OpenSession { .. } => "open_session",
+            Request::Apply { .. } => "apply",
+            Request::CloseSession { .. } => "close_session",
+            Request::Catalog => "catalog",
+            Request::Stats => "stats",
+        }
+    }
+
+    /// The session id the request targets, if the op names one.
+    pub fn session_id(&self) -> Option<u64> {
+        match self {
+            Request::Apply { session, .. } | Request::CloseSession { session } => Some(*session),
+            _ => None,
+        }
     }
 }
 
@@ -223,6 +244,11 @@ pub struct ServiceStats {
     /// Telemetry counters and latency histograms — empty unless the
     /// service was built with telemetry enabled.
     pub telemetry: TelemetrySnapshot,
+    /// Event-journal gauges (resident events, dropped-event count, ring
+    /// capacity) — all zero unless the service was built with the
+    /// journal enabled.
+    #[serde(default)]
+    pub journal: JournalStats,
 }
 
 /// Error responses tallied per [`ErrorCode`] category.

@@ -9,11 +9,12 @@
 //! writer is flushed after every response so a co-process driving the
 //! loop over pipes never deadlocks waiting for buffered output.
 
-use std::io::{BufRead, Write};
+use std::io::{self, BufRead, Write};
+use std::time::Instant;
 
 use mimd_online::{TraceEvent, TraceHeader};
 
-use crate::protocol::{ErrorCode, Request, ServiceError, SessionConfig};
+use crate::protocol::{ErrorCode, Request, Response, ServiceError, SessionConfig};
 use crate::service::MappingService;
 
 /// What one serve loop did.
@@ -23,6 +24,19 @@ pub struct ServeSummary {
     pub requests: usize,
     /// Responses that were errors (bad lines or failed requests).
     pub errors: usize,
+    /// Requests that crossed the [`ServeOptions::slow_ms`] threshold.
+    pub slow_requests: usize,
+}
+
+/// Serve-loop tuning knobs (the `mimd serve` flags).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeOptions {
+    /// When set, a request taking at least this many milliseconds
+    /// emits one structured `slow_request op=… session=… ms=…` line on
+    /// the diagnostic writer and bumps the `serve.slow_requests`
+    /// counter. `None` (the default) never reads the clock, keeping
+    /// the loop wall-clock free.
+    pub slow_ms: Option<u64>,
 }
 
 /// Serve requests line-by-line until the reader ends. Returns the
@@ -31,7 +45,21 @@ pub struct ServeSummary {
 pub fn serve_jsonl(
     service: &MappingService,
     reader: impl BufRead,
+    writer: impl Write,
+) -> std::io::Result<ServeSummary> {
+    serve_jsonl_with(service, reader, writer, io::sink(), ServeOptions::default())
+}
+
+/// [`serve_jsonl`] with options and a diagnostic writer (stderr in the
+/// CLI; any `Write` in tests). Diagnostics never mix into the response
+/// stream: every protocol line goes to `writer`, every slow-request
+/// line to `diag`.
+pub fn serve_jsonl_with(
+    service: &MappingService,
+    reader: impl BufRead,
     mut writer: impl Write,
+    mut diag: impl Write,
+    options: ServeOptions,
 ) -> std::io::Result<ServeSummary> {
     let mut summary = ServeSummary::default();
     for (lineno, line) in reader.lines().enumerate() {
@@ -42,7 +70,33 @@ pub fn serve_jsonl(
         }
         summary.requests += 1;
         let response = match Request::from_json_line(trimmed) {
-            Ok(request) => service.handle(request),
+            Ok(request) => {
+                // Only a set threshold reads the clock: the default
+                // loop stays wall-clock free.
+                let started = options.slow_ms.map(|_| Instant::now());
+                let op = request.op_name();
+                let mut session = request.session_id();
+                let response = service.handle(request);
+                if let Response::SessionOpened { session: id, .. } = &response {
+                    session = Some(*id);
+                }
+                if let (Some(started), Some(limit)) = (started, options.slow_ms) {
+                    let elapsed_ms = started.elapsed().as_millis() as u64;
+                    if elapsed_ms >= limit {
+                        summary.slow_requests += 1;
+                        service.note_slow_request();
+                        match session {
+                            Some(id) => {
+                                writeln!(diag, "slow_request op={op} session={id} ms={elapsed_ms}")?
+                            }
+                            None => {
+                                writeln!(diag, "slow_request op={op} session=- ms={elapsed_ms}")?
+                            }
+                        }
+                    }
+                }
+                response
+            }
             Err(e) => {
                 service.note_malformed_line();
                 ServiceError::new(ErrorCode::BadRequest, format!("line {}: {e}", lineno + 1))
@@ -112,6 +166,86 @@ mod tests {
         assert!(lines[0].is_error());
         assert!(matches!(lines[1], Response::Catalog { .. }));
         assert!(lines[2].is_error(), "unknown op is a bad request");
+    }
+
+    #[test]
+    fn slow_threshold_zero_flags_every_parsed_request() {
+        let config = crate::service::ServiceConfig {
+            telemetry: true,
+            ..Default::default()
+        };
+        let service = MappingService::new(config);
+        let input = "{oops\n{\"op\":\"catalog\"}\n{\"op\":\"stats\"}\n";
+        let (mut output, mut diag) = (Vec::new(), Vec::new());
+        let summary = serve_jsonl_with(
+            &service,
+            input.as_bytes(),
+            &mut output,
+            &mut diag,
+            ServeOptions { slow_ms: Some(0) },
+        )
+        .unwrap();
+        // The malformed line never reaches the clock; both parsed
+        // requests cross a 0 ms threshold.
+        assert_eq!(summary.requests, 3);
+        assert_eq!(summary.slow_requests, 2);
+        let diag = String::from_utf8(diag).unwrap();
+        let lines: Vec<&str> = diag.lines().collect();
+        assert_eq!(lines.len(), 2, "{diag}");
+        assert!(lines[0].starts_with("slow_request op=catalog session=- ms="));
+        assert!(lines[1].starts_with("slow_request op=stats session=- ms="));
+        assert_eq!(
+            service.stats().telemetry.counter("serve.slow_requests"),
+            2,
+            "slow requests are counted"
+        );
+    }
+
+    #[test]
+    fn unset_threshold_emits_no_diagnostics() {
+        let service = MappingService::default();
+        let input = "{\"op\":\"catalog\"}\n";
+        let (mut output, mut diag) = (Vec::new(), Vec::new());
+        let summary = serve_jsonl_with(
+            &service,
+            input.as_bytes(),
+            &mut output,
+            &mut diag,
+            ServeOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(summary.slow_requests, 0);
+        assert!(diag.is_empty(), "no threshold, no diagnostic lines");
+    }
+
+    #[test]
+    fn journal_captures_op_spans_with_request_context() {
+        let config = crate::service::ServiceConfig {
+            journal: true,
+            ..Default::default()
+        };
+        let service = MappingService::new(config);
+        let input = "{\"op\":\"catalog\"}\n{\"op\":\"stats\"}\n";
+        let mut output = Vec::new();
+        serve_jsonl(&service, input.as_bytes(), &mut output).unwrap();
+        let stats = service.stats();
+        assert!(stats.journal.enabled);
+        assert!(stats.journal.events >= 4, "two spans = four events");
+        assert_eq!(stats.journal.dropped, 0);
+        let snapshot = service.journal_snapshot();
+        let catalog_begin = snapshot
+            .events
+            .iter()
+            .find(|e| e.name == "service.catalog")
+            .expect("catalog op span journaled");
+        assert_eq!(catalog_begin.request, Some(1), "first request's context");
+        assert!(
+            snapshot
+                .events
+                .iter()
+                .any(|e| e.name == "service.stats" && e.request == Some(2)),
+            "second request's context"
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ use mimd_online::{
     replay_trace_recorded, DynamicWorkload, IncrementalMapper, OnlineConfig, OnlineSession,
     ReplayRecord, ReplaySummary, TraceEvent, TraceHeader,
 };
-use mimd_telemetry::Recorder;
+use mimd_telemetry::{Journal, JournalSnapshot, Recorder, DEFAULT_JOURNAL_CAPACITY};
 
 use crate::protocol::{
     CatalogEntry, ErrorCode, Request, Response, ServiceError, ServiceStats, SessionConfig,
@@ -51,6 +51,15 @@ pub struct ServiceConfig {
     /// surfaced through [`ServiceStats::telemetry`]. Off by default —
     /// the disabled recorder is a no-op and reads no clocks.
     pub telemetry: bool,
+    /// Enable the structured event journal: every op span, engine job
+    /// span and counter lands in a bounded ring of typed events, with
+    /// per-request/per-session context, exportable as JSONL or a Chrome
+    /// trace via [`MappingService::journal_snapshot`]. Off by default —
+    /// the disabled journal is a strict no-op.
+    pub journal: bool,
+    /// Journal ring capacity when enabled; events beyond this evict the
+    /// oldest and show up in [`ServiceStats::journal`] as `dropped`.
+    pub journal_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -59,6 +68,8 @@ impl Default for ServiceConfig {
             engine: EngineConfig::default(),
             max_sessions: 64,
             telemetry: false,
+            journal: false,
+            journal_capacity: DEFAULT_JOURNAL_CAPACITY,
         }
     }
 }
@@ -138,7 +149,10 @@ impl MappingService {
     /// Service sharing an existing topology cache (e.g. with another
     /// service or a co-resident engine).
     pub fn with_cache(config: ServiceConfig, cache: Arc<TopologyCache>) -> Self {
-        let recorder = Recorder::new(config.telemetry);
+        let mut recorder = Recorder::new(config.telemetry);
+        if config.journal {
+            recorder = recorder.with_journal(Journal::with_capacity(config.journal_capacity));
+        }
         MappingService {
             engine: Engine::with_telemetry(config.engine.clone(), cache, recorder.clone()),
             recorder,
@@ -158,6 +172,18 @@ impl MappingService {
     /// [`ServiceConfig::telemetry`] is set.
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// The service's event journal — disabled (a strict no-op) unless
+    /// [`ServiceConfig::journal`] is set.
+    pub fn journal(&self) -> &Journal {
+        self.recorder.journal()
+    }
+
+    /// Freeze the journal ring for export (`--trace-out` JSONL,
+    /// `--chrome-trace` viewer files). Empty when the journal is off.
+    pub fn journal_snapshot(&self) -> JournalSnapshot {
+        self.recorder.journal().snapshot()
     }
 
     /// The shared topology cache.
@@ -187,16 +213,23 @@ impl MappingService {
             requests_served: self.requests_served.load(Ordering::Relaxed),
             errors: self.errors.snapshot(),
             telemetry: self.recorder.snapshot(),
+            journal: self.recorder.journal().stats(),
         }
     }
 
     /// Serve one request. Never panics on bad input: every failure maps
     /// to a structured [`Response::Error`].
     pub fn handle(&self, request: Request) -> Response {
-        self.requests_served.fetch_add(1, Ordering::Relaxed);
+        let request_id = self.requests_served.fetch_add(1, Ordering::Relaxed) as u64 + 1;
         // One latency histogram per op kind; the span name is fixed
-        // before dispatch so the clock covers the whole handler.
-        let _span = self.recorder.span(op_span_name(&request));
+        // before dispatch so the clock covers the whole handler. The op
+        // span carries the request id (and the session id, when the op
+        // names one) into the journal.
+        let mut scoped = self.recorder.clone().with_request(request_id);
+        if let Some(session) = request.session_id() {
+            scoped = scoped.with_session(session);
+        }
+        let _span = scoped.span(op_span_name(&request));
         let response = match request {
             Request::MapOnce { job } => self.map_once(&job),
             Request::OpenSession {
@@ -233,6 +266,13 @@ impl MappingService {
         self.requests_served.fetch_add(1, Ordering::Relaxed);
         self.errors.bump(ErrorCode::BadRequest);
         self.recorder.incr("serve.malformed_lines");
+    }
+
+    /// Count a serve-loop request whose latency crossed the
+    /// `--slow-ms` threshold (the serve loop also emits a structured
+    /// `slow_request` line on its diagnostic stream).
+    pub fn note_slow_request(&self) {
+        self.recorder.incr("serve.slow_requests");
     }
 
     /// Run one job against the shared cache (the engine's single-job

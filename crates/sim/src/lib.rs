@@ -16,15 +16,18 @@
 //!
 //! Modules: [`routing`] (deterministic shortest-path next-hop tables),
 //! [`engine`] (the event queue and machine state), [`report`]
-//! (per-run statistics).
+//! (per-run statistics), [`explain`] (the exact quality-attribution
+//! [`ExplainReport`] behind `mimd explain`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod explain;
 pub mod report;
 pub mod routing;
 
 pub use engine::{simulate, simulate_heterogeneous, SimConfig};
+pub use explain::{CriticalStep, ExplainReport, HopBin, LinkTraffic};
 pub use report::SimReport;
 pub use routing::RoutingTable;

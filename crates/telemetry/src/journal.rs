@@ -1,0 +1,576 @@
+//! The structured event [`Journal`]: a bounded ring buffer of typed
+//! events behind the same `Arc`-shared, no-op-able handle discipline as
+//! [`Recorder`](crate::Recorder).
+//!
+//! Where the recorder aggregates (counters, histograms), the journal
+//! keeps the *sequence*: every span begin/end, instant marker and
+//! counter bump lands as an [`Event`] with a monotonic sequence number,
+//! a span id, the enclosing span's id (per-thread stacks give the
+//! nesting), and whatever job/session/request context the emitting
+//! handle carried. The buffer is bounded: when full, the oldest event
+//! is evicted and a dropped-event counter keeps the accounting honest.
+//!
+//! Two export shapes: [`JournalSnapshot::to_jsonl`] (one serde JSON
+//! object per line) and [`JournalSnapshot::to_chrome_trace`] (the
+//! Chrome `trace_event` JSON array format, so a capture opens directly
+//! in `chrome://tracing` / Perfetto).
+//!
+//! **Determinism contract.** Same as the crate: `seq`, names, kinds,
+//! span nesting, context ids and counter values are structural and
+//! exact; `ts_ns` is wall-clock and shape-only (monotone non-decreasing
+//! per journal). A disabled journal never reads the clock and stays
+//! empty. Nothing here may be written to a deterministic output stream.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+use std::thread::ThreadId;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Default ring capacity for [`Journal::enabled`].
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 65_536;
+
+/// What an [`Event`] marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum EventKind {
+    /// A span opened (`span` is its id, `parent` the enclosing span).
+    SpanBegin,
+    /// The matching span closed.
+    SpanEnd,
+    /// A point-in-time marker with no duration.
+    Instant,
+    /// A counter bump; `value` carries the increment.
+    Counter,
+}
+
+/// One journal entry.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Monotonic sequence number, unique per journal, starting at 0.
+    pub seq: u64,
+    /// Nanoseconds since the journal was created (wall clock; shape-only).
+    pub ts_ns: u64,
+    /// Event name (span/counter/marker name).
+    pub name: String,
+    /// What this event marks.
+    pub kind: EventKind,
+    /// Dense per-journal thread index (first thread to log is 0).
+    pub thread: u64,
+    /// Span id for `SpanBegin`/`SpanEnd` events.
+    pub span: Option<u64>,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Job id carried by the emitting handle, if any.
+    pub job: Option<u64>,
+    /// Session id carried by the emitting handle, if any.
+    pub session: Option<u64>,
+    /// Request id carried by the emitting handle, if any.
+    pub request: Option<u64>,
+    /// Counter increment for `Counter` events.
+    pub value: Option<u64>,
+}
+
+/// Structural gauges describing a journal (for `ServiceStats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalStats {
+    /// `true` iff the journal records anything.
+    pub enabled: bool,
+    /// Events currently resident in the ring.
+    pub events: u64,
+    /// Events evicted because the ring was full.
+    pub dropped: u64,
+    /// Ring capacity.
+    pub capacity: u64,
+}
+
+/// A frozen copy of the journal contents, ready for export.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalSnapshot {
+    /// Resident events, oldest first.
+    pub events: Vec<Event>,
+    /// Events evicted because the ring was full.
+    pub dropped: u64,
+    /// Ring capacity at snapshot time.
+    pub capacity: u64,
+}
+
+#[derive(Debug)]
+struct JournalState {
+    events: VecDeque<Event>,
+    capacity: usize,
+    next_seq: u64,
+    next_span: u64,
+    dropped: u64,
+    epoch: Instant,
+    /// Dense thread indices, assigned in first-log order.
+    threads: HashMap<ThreadId, u64>,
+    /// Open-span stack per dense thread index.
+    stacks: BTreeMap<u64, Vec<u64>>,
+}
+
+impl JournalState {
+    fn new(capacity: usize) -> Self {
+        JournalState {
+            events: VecDeque::new(),
+            capacity: capacity.max(1),
+            next_seq: 0,
+            next_span: 0,
+            dropped: 0,
+            epoch: Instant::now(),
+            threads: HashMap::new(),
+            stacks: BTreeMap::new(),
+        }
+    }
+
+    fn thread_index(&mut self) -> u64 {
+        let id = std::thread::current().id();
+        let next = self.threads.len() as u64;
+        *self.threads.entry(id).or_insert(next)
+    }
+
+    fn push(&mut self, event: Event) {
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+/// Job/session/request context stamped onto every event a handle emits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct EventCtx {
+    job: Option<u64>,
+    session: Option<u64>,
+    request: Option<u64>,
+}
+
+/// The shared event journal. Clones are handles onto one underlying
+/// ring; a disabled journal (the [`Default`]) carries no state and every
+/// operation is a no-op that never reads the clock. Context setters
+/// ([`Journal::with_job`] and friends) are per-handle: they change what
+/// ids the *clone* stamps, not the shared ring.
+#[derive(Clone, Debug, Default)]
+pub struct Journal {
+    inner: Option<Arc<Mutex<JournalState>>>,
+    ctx: EventCtx,
+}
+
+impl Journal {
+    /// A disabled (no-op) journal — identical to [`Journal::default`].
+    pub fn disabled() -> Self {
+        Journal::default()
+    }
+
+    /// A live journal with the [`DEFAULT_JOURNAL_CAPACITY`] ring.
+    pub fn enabled() -> Self {
+        Journal::with_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// A live journal bounded to `capacity` events (clamped to ≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Journal {
+            inner: Some(Arc::new(Mutex::new(JournalState::new(capacity)))),
+            ctx: EventCtx::default(),
+        }
+    }
+
+    /// A journal that is live iff `on` (the usual config-flag bridge).
+    pub fn new(on: bool) -> Self {
+        if on {
+            Journal::enabled()
+        } else {
+            Journal::disabled()
+        }
+    }
+
+    /// `true` iff this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// This handle with its job context set to `id`.
+    pub fn with_job(mut self, id: u64) -> Self {
+        self.ctx.job = Some(id);
+        self
+    }
+
+    /// This handle with its session context set to `id`.
+    pub fn with_session(mut self, id: u64) -> Self {
+        self.ctx.session = Some(id);
+        self
+    }
+
+    /// This handle with its request context set to `id`.
+    pub fn with_request(mut self, id: u64) -> Self {
+        self.ctx.request = Some(id);
+        self
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        &self,
+        state: &mut JournalState,
+        name: &str,
+        kind: EventKind,
+        span: Option<u64>,
+        parent: Option<u64>,
+        thread: u64,
+        value: Option<u64>,
+    ) {
+        let event = Event {
+            seq: state.next_seq,
+            ts_ns: saturating_ns(state.epoch.elapsed()),
+            name: name.to_string(),
+            kind,
+            thread,
+            span,
+            parent,
+            job: self.ctx.job,
+            session: self.ctx.session,
+            request: self.ctx.request,
+            value,
+        };
+        state.next_seq += 1;
+        state.push(event);
+    }
+
+    /// Open a span named `name`: logs a `SpanBegin` nested under the
+    /// thread's current span and returns the new span's id. Pair with
+    /// [`Journal::end_span`]. Returns `None` when disabled.
+    pub fn begin_span(&self, name: &str) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        let mut state = inner.lock();
+        let thread = state.thread_index();
+        let id = state.next_span;
+        state.next_span += 1;
+        let parent = state.stacks.get(&thread).and_then(|s| s.last().copied());
+        self.emit(
+            &mut state,
+            name,
+            EventKind::SpanBegin,
+            Some(id),
+            parent,
+            thread,
+            None,
+        );
+        state.stacks.entry(thread).or_default().push(id);
+        Some(id)
+    }
+
+    /// Close span `id` (from [`Journal::begin_span`]): logs a `SpanEnd`
+    /// and pops it from its thread's stack. No-op when disabled.
+    pub fn end_span(&self, id: u64, name: &str) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.lock();
+        let thread = state.thread_index();
+        if let Some(stack) = state.stacks.get_mut(&thread) {
+            if let Some(pos) = stack.iter().rposition(|&s| s == id) {
+                stack.remove(pos);
+            }
+        }
+        let parent = state.stacks.get(&thread).and_then(|s| s.last().copied());
+        self.emit(
+            &mut state,
+            name,
+            EventKind::SpanEnd,
+            Some(id),
+            parent,
+            thread,
+            None,
+        );
+    }
+
+    /// Log a point-in-time marker named `name`.
+    pub fn instant(&self, name: &str) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.lock();
+        let thread = state.thread_index();
+        let parent = state.stacks.get(&thread).and_then(|s| s.last().copied());
+        self.emit(
+            &mut state,
+            name,
+            EventKind::Instant,
+            None,
+            parent,
+            thread,
+            None,
+        );
+    }
+
+    /// Log a counter bump of `n` under `name`.
+    pub fn counter(&self, name: &str, n: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.lock();
+        let thread = state.thread_index();
+        let parent = state.stacks.get(&thread).and_then(|s| s.last().copied());
+        self.emit(
+            &mut state,
+            name,
+            EventKind::Counter,
+            None,
+            parent,
+            thread,
+            Some(n),
+        );
+    }
+
+    /// Structural gauges (resident count, dropped count, capacity).
+    pub fn stats(&self) -> JournalStats {
+        match &self.inner {
+            None => JournalStats::default(),
+            Some(inner) => {
+                let state = inner.lock();
+                JournalStats {
+                    enabled: true,
+                    events: state.events.len() as u64,
+                    dropped: state.dropped,
+                    capacity: state.capacity as u64,
+                }
+            }
+        }
+    }
+
+    /// Freeze the ring into a [`JournalSnapshot`]. Disabled snapshots
+    /// empty (zero capacity, zero events).
+    pub fn snapshot(&self) -> JournalSnapshot {
+        match &self.inner {
+            None => JournalSnapshot::default(),
+            Some(inner) => {
+                let state = inner.lock();
+                JournalSnapshot {
+                    events: state.events.iter().cloned().collect(),
+                    dropped: state.dropped,
+                    capacity: state.capacity as u64,
+                }
+            }
+        }
+    }
+}
+
+impl JournalSnapshot {
+    /// One serde JSON object per event, one per line, oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            // Event serialization cannot fail: all fields are plain data.
+            out.push_str(&serde_json::to_string(event).expect("event serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The Chrome `trace_event` JSON format: a `{"traceEvents": [...]}`
+    /// object whose entries map spans to `B`/`E` pairs, markers to `i`,
+    /// and counter bumps to `C` samples, with microsecond timestamps and
+    /// the journal's dense thread index as `tid`. Opens directly in
+    /// `chrome://tracing` or Perfetto.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut running: BTreeMap<String, u64> = BTreeMap::new();
+        for (i, event) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let ph = match event.kind {
+                EventKind::SpanBegin => "B",
+                EventKind::SpanEnd => "E",
+                EventKind::Instant => "i",
+                EventKind::Counter => "C",
+            };
+            let ts_us = event.ts_ns / 1_000;
+            out.push_str("{\"name\":");
+            push_json_string(&mut out, &event.name);
+            out.push_str(&format!(
+                ",\"ph\":\"{ph}\",\"ts\":{ts_us},\"pid\":1,\"tid\":{}",
+                event.thread
+            ));
+            if event.kind == EventKind::Instant {
+                out.push_str(",\"s\":\"t\"");
+            }
+            out.push_str(",\"args\":{\"seq\":");
+            out.push_str(&event.seq.to_string());
+            if let Some(job) = event.job {
+                out.push_str(&format!(",\"job\":{job}"));
+            }
+            if let Some(session) = event.session {
+                out.push_str(&format!(",\"session\":{session}"));
+            }
+            if let Some(request) = event.request {
+                out.push_str(&format!(",\"request\":{request}"));
+            }
+            if event.kind == EventKind::Counter {
+                let total = running.entry(event.name.clone()).or_insert(0);
+                *total += event.value.unwrap_or(0);
+                out.push_str(&format!(",\"value\":{}", *total));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Append `s` to `out` as a JSON string literal (quoted, escaped).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn saturating_ns(duration: std::time::Duration) -> u64 {
+    u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_journal_stays_empty() {
+        let j = Journal::disabled();
+        assert!(!j.is_enabled());
+        assert_eq!(j.begin_span("a"), None);
+        j.end_span(0, "a");
+        j.instant("b");
+        j.counter("c", 3);
+        assert_eq!(j.snapshot(), JournalSnapshot::default());
+        assert_eq!(j.stats(), JournalStats::default());
+    }
+
+    #[test]
+    fn seq_is_monotonic_and_spans_nest() {
+        let j = Journal::enabled();
+        let outer = j.begin_span("outer").unwrap();
+        let inner = j.begin_span("inner").unwrap();
+        j.instant("mark");
+        j.end_span(inner, "inner");
+        j.end_span(outer, "outer");
+        let snap = j.snapshot();
+        assert_eq!(snap.events.len(), 5);
+        for (i, e) in snap.events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+        assert!(snap.events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        let begin_outer = &snap.events[0];
+        let begin_inner = &snap.events[1];
+        let mark = &snap.events[2];
+        assert_eq!(begin_outer.kind, EventKind::SpanBegin);
+        assert_eq!(begin_outer.parent, None);
+        assert_eq!(begin_inner.parent, Some(outer));
+        assert_eq!(begin_inner.span, Some(inner));
+        assert_eq!(mark.kind, EventKind::Instant);
+        assert_eq!(mark.parent, Some(inner));
+        assert_eq!(snap.events[3].kind, EventKind::SpanEnd);
+        assert_eq!(snap.events[3].span, Some(inner));
+        assert_eq!(snap.events[4].span, Some(outer));
+    }
+
+    #[test]
+    fn ring_eviction_accounts_for_drops() {
+        let j = Journal::with_capacity(3);
+        for i in 0..5 {
+            j.counter("n", i);
+        }
+        let snap = j.snapshot();
+        assert_eq!(snap.events.len(), 3);
+        assert_eq!(snap.dropped, 2);
+        assert_eq!(snap.capacity, 3);
+        // The survivors are the newest three, seq intact.
+        let seqs: Vec<u64> = snap.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        let stats = j.stats();
+        assert_eq!(stats.events, 3);
+        assert_eq!(stats.dropped, 2);
+        assert!(stats.enabled);
+    }
+
+    #[test]
+    fn context_is_per_handle() {
+        let j = Journal::enabled();
+        let jobbed = j.clone().with_job(7).with_request(1);
+        let sessioned = j.clone().with_session(42);
+        jobbed.instant("a");
+        sessioned.instant("b");
+        j.instant("c");
+        let snap = j.snapshot();
+        assert_eq!(snap.events[0].job, Some(7));
+        assert_eq!(snap.events[0].request, Some(1));
+        assert_eq!(snap.events[0].session, None);
+        assert_eq!(snap.events[1].session, Some(42));
+        assert_eq!(snap.events[1].job, None);
+        assert_eq!(snap.events[2].job, None);
+        assert_eq!(snap.events[2].session, None);
+    }
+
+    #[test]
+    fn snapshot_serde_round_trip() {
+        let j = Journal::with_capacity(16);
+        let s = j.begin_span("work").unwrap();
+        let jobbed = j.clone().with_job(3);
+        jobbed.counter("moves", 2);
+        j.end_span(s, "work");
+        let snap = j.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: JournalSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        let jsonl = snap.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 3);
+        for line in jsonl.lines() {
+            let event: Event = serde_json::from_str(line).unwrap();
+            assert!(snap.events.contains(&event));
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_well_formed_and_matched() {
+        let j = Journal::with_capacity(16);
+        let a = j.begin_span("outer").unwrap();
+        let b = j.begin_span("inner \"quoted\"").unwrap();
+        j.counter("bumps", 1);
+        j.counter("bumps", 2);
+        j.instant("tick");
+        j.end_span(b, "inner \"quoted\"");
+        j.end_span(a, "outer");
+        let trace = j.snapshot().to_chrome_trace();
+        // Must parse as JSON even with names needing escapes.
+        let value = serde_json::parse_value(&trace).unwrap();
+        let rendered = serde_json::to_string(&value).unwrap();
+        assert!(rendered.contains("traceEvents"));
+        // Begin/end phases are balanced, counter values accumulate.
+        assert_eq!(trace.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(trace.matches("\"ph\":\"E\"").count(), 2);
+        assert_eq!(trace.matches("\"ph\":\"i\"").count(), 1);
+        assert_eq!(trace.matches("\"ph\":\"C\"").count(), 2);
+        assert!(trace.contains("\"value\":1"));
+        assert!(trace.contains("\"value\":3"));
+    }
+
+    #[test]
+    fn threads_get_dense_indices() {
+        let j = Journal::enabled();
+        j.instant("main");
+        std::thread::scope(|scope| {
+            let j2 = j.clone();
+            scope.spawn(move || j2.instant("worker"));
+        });
+        j.instant("main-again");
+        let snap = j.snapshot();
+        assert_eq!(snap.events[0].thread, 0);
+        assert_eq!(snap.events[1].thread, 1);
+        assert_eq!(snap.events[2].thread, 0);
+    }
+}

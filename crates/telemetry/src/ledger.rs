@@ -1,0 +1,223 @@
+//! The [`GainLedger`]: an exact, unbounded record of refinement
+//! acceptances — which pass, at which level, gained how much, leaving
+//! what makespan.
+//!
+//! Unlike the [`Journal`](crate::Journal) this is *not* a ring: ledger
+//! entries back the quality-attribution math in `ExplainReport`, where
+//! "the summed gains equal the makespan delta" is an asserted
+//! invariant, and evicting entries would silently break it. Refinement
+//! runs are expected to record a [`GainKind::Baseline`] entry (gain 0,
+//! `total_after` = starting makespan) when they begin and an
+//! [`GainKind::Accept`] entry for every accepted candidate, so within
+//! one run the entries form a telescoping trajectory:
+//! `sum(gains) == first.total_after - last.total_after`.
+//!
+//! **Determinism contract.** Everything in a ledger is structural: for
+//! a fixed input (and seed) the entries are byte-identical across runs
+//! and thread counts, and tests assert them exactly. No clocks are
+//! involved at all.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Whether an entry opens a refinement run or records an acceptance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum GainKind {
+    /// A refinement run started; `total_after` is its starting makespan
+    /// and `gain` is 0.
+    Baseline,
+    /// A candidate was accepted; `gain` is the (signed) makespan
+    /// improvement and `total_after` the makespan after applying it.
+    Accept,
+}
+
+/// One ledger entry.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GainEntry {
+    /// Which refinement pass recorded this (e.g. `flat.random`,
+    /// `flat.exchange`, `vcycle.initial_map`, `vcycle.refine`,
+    /// `online.region`).
+    pub pass: String,
+    /// Hierarchy level for scoped passes (0 = finest); 0 when the pass
+    /// has no level structure.
+    pub level: u32,
+    /// Monotonic position in the ledger, starting at 0.
+    pub step: u64,
+    /// Signed makespan change: previous total minus new total. Positive
+    /// for improvements; may be ≤ 0 when acceptance optimizes a
+    /// penalized objective (e.g. migration-cost-aware scoring).
+    pub gain: i64,
+    /// The makespan after this entry took effect.
+    pub total_after: u64,
+    /// Baseline (run start) or accepted candidate.
+    pub kind: GainKind,
+}
+
+#[derive(Debug, Default)]
+struct LedgerState {
+    entries: Vec<GainEntry>,
+}
+
+/// The shared gain ledger. Clones are handles onto one underlying
+/// entry list; a disabled ledger (the [`Default`]) carries no state and
+/// every operation is a no-op.
+#[derive(Clone, Debug, Default)]
+pub struct GainLedger {
+    inner: Option<Arc<Mutex<LedgerState>>>,
+}
+
+impl GainLedger {
+    /// A disabled (no-op) ledger — identical to [`GainLedger::default`].
+    pub fn disabled() -> Self {
+        GainLedger::default()
+    }
+
+    /// A live ledger with an empty entry list.
+    pub fn enabled() -> Self {
+        GainLedger {
+            inner: Some(Arc::new(Mutex::new(LedgerState::default()))),
+        }
+    }
+
+    /// A ledger that is live iff `on` (the usual config-flag bridge).
+    pub fn new(on: bool) -> Self {
+        if on {
+            GainLedger::enabled()
+        } else {
+            GainLedger::disabled()
+        }
+    }
+
+    /// `true` iff this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record a run-opening baseline: gain 0, starting makespan `total`.
+    pub fn baseline(&self, pass: &str, level: u32, total: u64) {
+        self.record(pass, level, 0, total, GainKind::Baseline);
+    }
+
+    /// Record an accepted candidate.
+    pub fn accept(&self, pass: &str, level: u32, gain: i64, total_after: u64) {
+        self.record(pass, level, gain, total_after, GainKind::Accept);
+    }
+
+    fn record(&self, pass: &str, level: u32, gain: i64, total_after: u64, kind: GainKind) {
+        if let Some(inner) = &self.inner {
+            let mut state = inner.lock();
+            let step = state.entries.len() as u64;
+            state.entries.push(GainEntry {
+                pass: pass.to_string(),
+                level,
+                step,
+                gain,
+                total_after,
+                kind,
+            });
+        }
+    }
+
+    /// Number of entries recorded so far (0 when disabled).
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            None => 0,
+            Some(inner) => inner.lock().entries.len(),
+        }
+    }
+
+    /// `true` iff no entries have been recorded (always for disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Freeze the entries into an owned list, oldest first. A disabled
+    /// ledger snapshots empty.
+    pub fn snapshot(&self) -> Vec<GainEntry> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner.lock().entries.clone(),
+        }
+    }
+}
+
+/// Split a ledger into its refinement runs: each [`GainKind::Baseline`]
+/// entry opens a new segment containing it and every following entry up
+/// to the next baseline. Entries before the first baseline (there
+/// should be none) form a leading segment of their own.
+pub fn split_runs(entries: &[GainEntry]) -> Vec<&[GainEntry]> {
+    let mut runs = Vec::new();
+    let mut start = 0;
+    for (i, e) in entries.iter().enumerate() {
+        if e.kind == GainKind::Baseline && i > start {
+            runs.push(&entries[start..i]);
+            start = i;
+        }
+    }
+    if start < entries.len() {
+        runs.push(&entries[start..]);
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_ledger_is_inert() {
+        let l = GainLedger::disabled();
+        assert!(!l.is_enabled());
+        l.baseline("flat.random", 0, 100);
+        l.accept("flat.random", 0, 5, 95);
+        assert!(l.is_empty());
+        assert_eq!(l.snapshot(), Vec::new());
+    }
+
+    #[test]
+    fn entries_telescope_within_a_run() {
+        let l = GainLedger::enabled();
+        l.baseline("flat.random", 0, 100);
+        l.accept("flat.random", 0, 10, 90);
+        l.accept("flat.exchange", 0, 3, 87);
+        l.baseline("vcycle.refine", 2, 120);
+        l.accept("vcycle.refine", 2, -4, 124);
+        let entries = l.snapshot();
+        assert_eq!(entries.len(), 5);
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(e.step, i as u64);
+        }
+        let runs = split_runs(&entries);
+        assert_eq!(runs.len(), 2);
+        for run in runs {
+            let sum: i64 = run.iter().map(|e| e.gain).sum();
+            let first = run.first().unwrap().total_after as i64;
+            let last = run.last().unwrap().total_after as i64;
+            assert_eq!(sum, first - last);
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_serde() {
+        let l = GainLedger::enabled();
+        l.baseline("online.region", 1, 50);
+        l.accept("online.region", 1, -2, 52);
+        let entries = l.snapshot();
+        let json = serde_json::to_string(&entries).unwrap();
+        let back: Vec<GainEntry> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let l = GainLedger::enabled();
+        let clone = l.clone();
+        l.baseline("a", 0, 10);
+        clone.accept("a", 0, 1, 9);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.snapshot()[1].step, 1);
+    }
+}

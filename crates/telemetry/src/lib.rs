@@ -21,21 +21,38 @@
 //! the state into a serde [`TelemetrySnapshot`] for wire transport
 //! (`ServiceStats.telemetry`) and merging across recorders.
 //!
-//! **Determinism contract.** Counters and per-histogram `count` fields
-//! are *structural*: for a fixed input they are identical across runs,
+//! Two diagnostic sinks ride along on the recorder:
+//!
+//! * the **event journal** ([`Journal`]) — a bounded ring of typed
+//!   events (span begin/end pairs with per-thread nesting, instants,
+//!   counter bumps) with JSONL and Chrome `trace_event` export;
+//! * the **gain ledger** ([`GainLedger`]) — an exact, unbounded record
+//!   of refinement acceptances (pass, level, signed gain, resulting
+//!   makespan) backing the `mimd explain` quality attribution.
+//!
+//! **Determinism contract.** Counters, per-histogram `count` fields,
+//! journal sequence numbers/names/nesting, and every ledger field are
+//! *structural*: for a fixed input they are identical across runs,
 //! thread counts and machines, and tests assert exact values. The
-//! timing fields (`sum_ns`, `min_ns`, `max_ns`, bucket placement) are
-//! wall-clock and only ever validated for shape (min ≤ max, bucket
-//! totals, monotonicity). Nothing from this crate may be written to a
-//! deterministic output stream — profiles go to stderr.
+//! timing fields (`sum_ns`, `min_ns`, `max_ns`, bucket placement,
+//! journal `ts_ns`) are wall-clock and only ever validated for shape
+//! (min ≤ max, bucket totals, monotonicity). Nothing from this crate
+//! may be written to a deterministic output stream — profiles and
+//! trace exports go to stderr or explicitly named files.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod histogram;
+pub mod journal;
+pub mod ledger;
 pub mod recorder;
 pub mod snapshot;
 
 pub use histogram::{bucket_bounds, bucket_index, HistogramSnapshot, LatencyHistogram, BUCKETS};
+pub use journal::{
+    Event, EventKind, Journal, JournalSnapshot, JournalStats, DEFAULT_JOURNAL_CAPACITY,
+};
+pub use ledger::{split_runs, GainEntry, GainKind, GainLedger};
 pub use recorder::{Recorder, Span};
 pub use snapshot::TelemetrySnapshot;

@@ -1,5 +1,20 @@
 //! The [`Recorder`]: a cheap `Arc`-shared handle instrumented code
 //! records into, and the RAII [`Span`] timer it hands out.
+//!
+//! Beyond the aggregate state (counters + histograms) a recorder can
+//! carry two optional sinks that ride along on every clone:
+//!
+//! * a [`Journal`] — every span begin/end and counter bump is mirrored
+//!   into the structured event ring, with whatever job/session/request
+//!   context the handle carries ([`Recorder::with_job`] and friends);
+//! * a [`GainLedger`] — refinement loops report accepted moves through
+//!   [`Recorder::gain_run_start`] / [`Recorder::gain`], and
+//!   [`Recorder::with_gain_scope`] lets an orchestrating layer (the
+//!   V-cycle, the online session) re-attribute a nested run to its own
+//!   pass name and level without threading extra parameters through.
+//!
+//! All three sinks are independently no-op-able; the disabled default
+//! carries none of them and never reads the clock.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -8,6 +23,8 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use crate::histogram::LatencyHistogram;
+use crate::journal::Journal;
+use crate::ledger::GainLedger;
 use crate::snapshot::TelemetrySnapshot;
 
 #[derive(Debug, Default)]
@@ -16,12 +33,23 @@ struct State {
     histograms: BTreeMap<String, LatencyHistogram>,
 }
 
+/// A pass name + level that overrides what nested refinement runs
+/// report into the gain ledger.
+#[derive(Clone, Debug)]
+struct GainScope {
+    pass: Arc<str>,
+    level: u32,
+}
+
 /// The shared telemetry sink. Clones are handles onto one underlying
 /// state; a disabled recorder (the [`Default`]) carries no state at all
 /// and every operation is a no-op that never reads the clock.
 #[derive(Clone, Debug, Default)]
 pub struct Recorder {
     inner: Option<Arc<Mutex<State>>>,
+    journal: Journal,
+    ledger: GainLedger,
+    scope: Option<GainScope>,
 }
 
 impl Recorder {
@@ -30,10 +58,13 @@ impl Recorder {
         Recorder::default()
     }
 
-    /// A live recorder with fresh, empty state.
+    /// A live recorder with fresh, empty state (no journal, no ledger).
     pub fn enabled() -> Self {
         Recorder {
             inner: Some(Arc::new(Mutex::new(State::default()))),
+            journal: Journal::disabled(),
+            ledger: GainLedger::disabled(),
+            scope: None,
         }
     }
 
@@ -46,9 +77,91 @@ impl Recorder {
         }
     }
 
-    /// `true` iff this handle records anything.
+    /// `true` iff this handle records counters/histograms.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// This recorder with `journal` attached: spans and counter bumps
+    /// are mirrored into it from here on.
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = journal;
+        self
+    }
+
+    /// This recorder with `ledger` attached: refinement loops report
+    /// accepted moves into it from here on.
+    pub fn with_ledger(mut self, ledger: GainLedger) -> Self {
+        self.ledger = ledger;
+        self
+    }
+
+    /// The attached journal handle (disabled if none was attached).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// The attached gain ledger handle (disabled if none was attached).
+    pub fn ledger(&self) -> &GainLedger {
+        &self.ledger
+    }
+
+    /// This handle with its journal job context set to `id`.
+    pub fn with_job(mut self, id: u64) -> Self {
+        self.journal = self.journal.with_job(id);
+        self
+    }
+
+    /// This handle with its journal session context set to `id`.
+    pub fn with_session(mut self, id: u64) -> Self {
+        self.journal = self.journal.with_session(id);
+        self
+    }
+
+    /// This handle with its journal request context set to `id`.
+    pub fn with_request(mut self, id: u64) -> Self {
+        self.journal = self.journal.with_request(id);
+        self
+    }
+
+    /// This handle with a gain scope: nested refinement runs report
+    /// into the ledger as `pass` at `level` instead of their default
+    /// pass names. The scope is per-handle — the V-cycle hands a scoped
+    /// clone to each level's group refinement, the online session to
+    /// its region repair.
+    pub fn with_gain_scope(mut self, pass: &str, level: u32) -> Self {
+        self.scope = Some(GainScope {
+            pass: Arc::from(pass),
+            level,
+        });
+        self
+    }
+
+    /// Record a run-opening ledger baseline: the refinement run that
+    /// defaults to pass `default_pass` starts from makespan `total`.
+    /// No-op without an attached ledger.
+    pub fn gain_run_start(&self, default_pass: &str, total: u64) {
+        if !self.ledger.is_enabled() {
+            return;
+        }
+        match &self.scope {
+            Some(s) => self.ledger.baseline(&s.pass, s.level, total),
+            None => self.ledger.baseline(default_pass, 0, total),
+        }
+    }
+
+    /// Record an accepted refinement candidate: signed makespan change
+    /// `gain` leaving makespan `total_after`, attributed to
+    /// `default_pass` unless a [`Recorder::with_gain_scope`] overrides
+    /// it. No-op without an attached ledger.
+    pub fn gain(&self, default_pass: &str, gain: i64, total_after: u64) {
+        if !self.ledger.is_enabled() {
+            return;
+        }
+        match &self.scope {
+            Some(s) => self.ledger.accept(&s.pass, s.level, gain, total_after),
+            None => self.ledger.accept(default_pass, 0, gain, total_after),
+        }
     }
 
     /// Increment counter `name` by 1.
@@ -62,6 +175,7 @@ impl Recorder {
             let mut state = inner.lock();
             *state.counters.entry(name.to_string()).or_insert(0) += n;
         }
+        self.journal.counter(name, n);
     }
 
     /// Record a nanosecond observation into histogram `name`.
@@ -82,14 +196,21 @@ impl Recorder {
     }
 
     /// Start an RAII span: the elapsed wall-clock time from this call
-    /// to the returned guard's drop lands in histogram `name`. On a
-    /// disabled recorder the guard is inert and the clock is never read.
+    /// to the returned guard's drop lands in histogram `name`, and the
+    /// begin/end pair is mirrored into the journal when one is
+    /// attached. On a fully disabled recorder the guard is inert and
+    /// the clock is never read.
     pub fn span(&self, name: &str) -> Span {
+        let journal = self
+            .journal
+            .begin_span(name)
+            .map(|id| (self.journal.clone(), id, name.to_string()));
         Span {
             inner: self
                 .inner
                 .as_ref()
                 .map(|inner| (Arc::clone(inner), name.to_string(), Instant::now())),
+            journal,
         }
     }
 
@@ -120,11 +241,13 @@ impl Recorder {
 }
 
 /// RAII span guard from [`Recorder::span`]; records its lifetime into
-/// the recorder's histogram on drop.
+/// the recorder's histogram on drop and closes its journal span when
+/// the recorder carried one.
 #[must_use = "a span records on drop; binding it to _ ends it immediately"]
 #[derive(Debug)]
 pub struct Span {
     inner: Option<(Arc<Mutex<State>>, String, Instant)>,
+    journal: Option<(Journal, u64, String)>,
 }
 
 impl Drop for Span {
@@ -133,6 +256,9 @@ impl Drop for Span {
             let ns = saturating_ns(start.elapsed());
             let mut state = inner.lock();
             state.histograms.entry(name).or_default().record(ns);
+        }
+        if let Some((journal, id, name)) = self.journal.take() {
+            journal.end_span(id, &name);
         }
     }
 }
@@ -144,6 +270,8 @@ fn saturating_ns(duration: Duration) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::journal::EventKind;
+    use crate::ledger::GainKind;
 
     #[test]
     fn disabled_recorder_is_inert() {
@@ -152,7 +280,11 @@ mod tests {
         r.incr("a");
         r.record_ns("b", 10);
         let _ = r.span("c");
+        r.gain_run_start("flat.random", 100);
+        r.gain("flat.random", 5, 95);
         assert_eq!(r.snapshot(), TelemetrySnapshot::default());
+        assert!(r.ledger().snapshot().is_empty());
+        assert!(r.journal().snapshot().events.is_empty());
     }
 
     #[test]
@@ -201,5 +333,73 @@ mod tests {
         let snapshot = r.snapshot();
         assert_eq!(snapshot.counter("n"), 400);
         assert_eq!(snapshot.histograms["t"].count, 400);
+    }
+
+    #[test]
+    fn spans_and_counters_mirror_into_journal() {
+        let r = Recorder::enabled().with_journal(Journal::enabled());
+        {
+            let _outer = r.span("outer");
+            let _inner = r.span("inner");
+            r.incr("bumps");
+        }
+        let snap = r.journal().snapshot();
+        let kinds: Vec<EventKind> = snap.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::SpanBegin,
+                EventKind::SpanBegin,
+                EventKind::Counter,
+                EventKind::SpanEnd,
+                EventKind::SpanEnd,
+            ]
+        );
+        // inner is nested under outer; the counter under inner.
+        assert_eq!(snap.events[1].parent, snap.events[0].span);
+        assert_eq!(snap.events[2].parent, snap.events[1].span);
+        // Histograms recorded too.
+        assert_eq!(r.snapshot().histograms["outer"].count, 1);
+    }
+
+    #[test]
+    fn journal_works_without_aggregate_state() {
+        // A recorder can carry a journal even when counters are off.
+        let r = Recorder::disabled().with_journal(Journal::enabled());
+        r.time("phase", || ());
+        r.incr("n");
+        let snap = r.journal().snapshot();
+        assert_eq!(snap.events.len(), 3);
+        assert_eq!(r.snapshot(), TelemetrySnapshot::default());
+    }
+
+    #[test]
+    fn gain_scope_overrides_default_pass() {
+        let r = Recorder::enabled().with_ledger(GainLedger::enabled());
+        r.gain_run_start("flat.random", 100);
+        r.gain("flat.random", 10, 90);
+        let scoped = r.clone().with_gain_scope("vcycle.refine", 3);
+        scoped.gain_run_start("local.refine", 90);
+        scoped.gain("local.refine", -2, 92);
+        let entries = r.ledger().snapshot();
+        assert_eq!(entries.len(), 4);
+        assert_eq!(entries[0].pass, "flat.random");
+        assert_eq!(entries[0].kind, GainKind::Baseline);
+        assert_eq!(entries[1].pass, "flat.random");
+        assert_eq!(entries[1].gain, 10);
+        assert_eq!(entries[2].pass, "vcycle.refine");
+        assert_eq!(entries[2].level, 3);
+        assert_eq!(entries[3].pass, "vcycle.refine");
+        assert_eq!(entries[3].gain, -2);
+        assert_eq!(entries[3].total_after, 92);
+    }
+
+    #[test]
+    fn job_context_flows_through_spans() {
+        let base = Recorder::enabled().with_journal(Journal::enabled());
+        let jobbed = base.clone().with_job(9);
+        jobbed.time("engine.job", || ());
+        let snap = base.journal().snapshot();
+        assert!(snap.events.iter().all(|e| e.job == Some(9)));
     }
 }

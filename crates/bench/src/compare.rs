@@ -1,0 +1,422 @@
+//! The noise-aware regression classifier behind `mimd bench --compare`.
+//!
+//! For every scenario present in both reports, two metrics are
+//! classified:
+//!
+//! * **wall-clock** — relative delta of the min-of-k times, against a
+//!   per-scenario noise floor calibrated from the repetition spread of
+//!   *both* runs (`max(noise_floor, spread_factor × spread)`): a
+//!   scenario whose repetitions already disagree by 30% cannot flag a
+//!   20% delta as signal;
+//! * **quality** — `% over lower bound` is deterministic per seed, so
+//!   it is held to a tight absolute tolerance regardless of the
+//!   wall-clock floor. A quality regression is real even when timing
+//!   is pure noise — which is exactly what makes the CI gate
+//!   meaningful on shared runners.
+//!
+//! Larger is worse for both metrics, so verdicts read the same way:
+//! [`Verdict::Regression`] means the current run got worse.
+
+use serde::{Deserialize, Serialize};
+
+use mimd_report::Table;
+
+use crate::report::BenchReport;
+
+/// Classifier tuning.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CompareConfig {
+    /// Minimum relative wall-clock delta ever treated as signal
+    /// (0.15 = 15%).
+    pub noise_floor: f64,
+    /// The per-scenario floor is `spread_factor ×` the larger
+    /// repetition spread of the two runs (when that exceeds
+    /// `noise_floor`).
+    pub spread_factor: f64,
+    /// Absolute tolerance, in percentage points, on the deterministic
+    /// `% over lower bound` quality metric.
+    pub quality_tolerance: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            noise_floor: 0.15,
+            spread_factor: 2.0,
+            quality_tolerance: 0.05,
+        }
+    }
+}
+
+/// How one metric moved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Verdict {
+    /// Got better by more than the scenario's threshold.
+    Improvement,
+    /// Within the noise floor.
+    Noise,
+    /// Got worse by more than the scenario's threshold.
+    Regression,
+}
+
+impl Verdict {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Improvement => "improvement",
+            Verdict::Noise => "noise",
+            Verdict::Regression => "REGRESSION",
+        }
+    }
+}
+
+/// One classified metric of one scenario.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricDelta {
+    /// Scenario name.
+    pub scenario: String,
+    /// `wall_ns` or `quality_percent_over`.
+    pub metric: String,
+    /// Baseline value (ns, or percent over lower bound).
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Signed movement: percent of baseline for wall-clock, percentage
+    /// points for quality. Positive = worse.
+    pub delta: f64,
+    /// The threshold `delta` was classified against (same unit).
+    pub threshold: f64,
+    /// The classification.
+    pub verdict: Verdict,
+}
+
+/// The full classification of a (baseline, current) pair.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Every classified metric, in suite order.
+    pub deltas: Vec<MetricDelta>,
+    /// Scenario names present in only one of the two reports.
+    pub skipped: Vec<String>,
+}
+
+impl Comparison {
+    /// Classify `current` against `baseline`. Fails when the suite
+    /// fingerprints differ (the reports measured different workloads)
+    /// or no scenario appears in both.
+    pub fn compare(
+        baseline: &BenchReport,
+        current: &BenchReport,
+        config: &CompareConfig,
+    ) -> Result<Comparison, String> {
+        if baseline.fingerprint != current.fingerprint {
+            return Err(format!(
+                "suite fingerprints differ (baseline '{}' {}, current '{}' {}): \
+                 the reports measured different workloads",
+                baseline.suite, baseline.fingerprint, current.suite, current.fingerprint
+            ));
+        }
+        let mut deltas = Vec::new();
+        let mut skipped = Vec::new();
+        for b in &baseline.scenarios {
+            let Some(c) = current.scenario(&b.name) else {
+                skipped.push(b.name.clone());
+                continue;
+            };
+            // Wall-clock: relative delta vs the calibrated floor.
+            let spread = b.rep_spread().max(c.rep_spread());
+            let threshold = config.noise_floor.max(config.spread_factor * spread);
+            let rel = if b.wall_ns == 0 {
+                0.0
+            } else {
+                c.wall_ns as f64 / b.wall_ns as f64 - 1.0
+            };
+            deltas.push(MetricDelta {
+                scenario: b.name.clone(),
+                metric: "wall_ns".into(),
+                baseline: b.wall_ns as f64,
+                current: c.wall_ns as f64,
+                delta: rel * 100.0,
+                threshold: threshold * 100.0,
+                verdict: classify(rel, threshold),
+            });
+            // Quality: absolute points vs the tight tolerance.
+            if let (Some(bq), Some(cq)) = (b.quality_percent_over, c.quality_percent_over) {
+                deltas.push(MetricDelta {
+                    scenario: b.name.clone(),
+                    metric: "quality_percent_over".into(),
+                    baseline: bq,
+                    current: cq,
+                    delta: cq - bq,
+                    threshold: config.quality_tolerance,
+                    verdict: classify(cq - bq, config.quality_tolerance),
+                });
+            }
+        }
+        for c in &current.scenarios {
+            if baseline.scenario(&c.name).is_none() {
+                skipped.push(c.name.clone());
+            }
+        }
+        if deltas.is_empty() {
+            return Err("no scenario appears in both reports".into());
+        }
+        Ok(Comparison { deltas, skipped })
+    }
+
+    /// Metrics classified as regressions.
+    pub fn regressions(&self) -> usize {
+        self.count(Verdict::Regression)
+    }
+
+    /// Metrics classified as improvements.
+    pub fn improvements(&self) -> usize {
+        self.count(Verdict::Improvement)
+    }
+
+    fn count(&self, verdict: Verdict) -> usize {
+        self.deltas.iter().filter(|d| d.verdict == verdict).count()
+    }
+
+    /// The delta table (rendered via mimd-report).
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(
+            "bench compare (current vs baseline)",
+            &[
+                "scenario", "metric", "baseline", "current", "delta", "floor", "verdict",
+            ],
+        );
+        for d in &self.deltas {
+            let (baseline, current, delta, floor) = if d.metric == "wall_ns" {
+                (
+                    format!("{:.2}ms", d.baseline / 1e6),
+                    format!("{:.2}ms", d.current / 1e6),
+                    format!("{:+.1}%", d.delta),
+                    format!("{:.1}%", d.threshold),
+                )
+            } else {
+                (
+                    format!("{:.2}", d.baseline),
+                    format!("{:.2}", d.current),
+                    format!("{:+.3}pt", d.delta),
+                    format!("{:.3}pt", d.threshold),
+                )
+            };
+            table.push_row(vec![
+                d.scenario.clone(),
+                d.metric.clone(),
+                baseline,
+                current,
+                delta,
+                floor,
+                d.verdict.label().to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// One-line summary (the last line `mimd bench --compare` prints).
+    pub fn verdict_line(&self) -> String {
+        format!(
+            "bench compare: {} regression(s), {} improvement(s), {} within noise{}",
+            self.regressions(),
+            self.improvements(),
+            self.count(Verdict::Noise),
+            if self.skipped.is_empty() {
+                String::new()
+            } else {
+                format!(" ({} scenario(s) skipped)", self.skipped.len())
+            }
+        )
+    }
+}
+
+/// Classify a signed "larger is worse" delta against a threshold.
+fn classify(delta: f64, threshold: f64) -> Verdict {
+    if delta > threshold {
+        Verdict::Regression
+    } else if delta < -threshold {
+        Verdict::Improvement
+    } else {
+        Verdict::Noise
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ScenarioReport;
+    use std::collections::BTreeMap;
+
+    fn scenario(name: &str, wall_ns: u64, spread: &[u64], quality: f64) -> ScenarioReport {
+        ScenarioReport {
+            name: name.into(),
+            kind: "job:paper".into(),
+            reps: spread.len(),
+            items: 100,
+            wall_ns,
+            rep_wall_ns: spread.to_vec(),
+            items_per_sec: 100.0 / (wall_ns as f64 / 1e9),
+            quality_percent_over: Some(quality),
+            cache: None,
+            latency: BTreeMap::new(),
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    fn report(scenarios: Vec<ScenarioReport>) -> BenchReport {
+        BenchReport::new("quick", "feedfacefeedface", scenarios)
+    }
+
+    #[test]
+    fn identical_runs_compare_as_noise() {
+        let a = report(vec![scenario(
+            "s",
+            1_000_000,
+            &[1_000_000, 1_050_000],
+            110.0,
+        )]);
+        let cmp = Comparison::compare(&a, &a.clone(), &CompareConfig::default()).unwrap();
+        assert_eq!(cmp.regressions(), 0);
+        assert_eq!(cmp.improvements(), 0);
+        assert!(cmp.deltas.iter().all(|d| d.verdict == Verdict::Noise));
+        assert!(
+            cmp.verdict_line().contains("0 regression(s)"),
+            "{}",
+            cmp.verdict_line()
+        );
+    }
+
+    #[test]
+    fn slowdown_beyond_the_floor_is_a_regression() {
+        let base = report(vec![scenario(
+            "s",
+            1_000_000,
+            &[1_000_000, 1_020_000],
+            110.0,
+        )]);
+        let slow = report(vec![scenario(
+            "s",
+            2_000_000,
+            &[2_000_000, 2_040_000],
+            110.0,
+        )]);
+        let cmp = Comparison::compare(&base, &slow, &CompareConfig::default()).unwrap();
+        assert_eq!(cmp.regressions(), 1);
+        let d = &cmp.deltas[0];
+        assert_eq!(d.metric, "wall_ns");
+        assert_eq!(d.verdict, Verdict::Regression);
+        assert!((d.delta - 100.0).abs() < 1e-9, "{}", d.delta);
+        // The mirror comparison is an improvement.
+        let cmp = Comparison::compare(&slow, &base, &CompareConfig::default()).unwrap();
+        assert_eq!(cmp.regressions(), 0);
+        assert_eq!(cmp.improvements(), 1);
+    }
+
+    #[test]
+    fn noisy_repetitions_widen_the_floor() {
+        // 50% slower, but both runs' repetitions spread by ~60%: with
+        // spread_factor 2 the floor is 120%, so this is noise…
+        let base = report(vec![scenario(
+            "s",
+            1_000_000,
+            &[1_000_000, 1_600_000],
+            110.0,
+        )]);
+        let slow = report(vec![scenario(
+            "s",
+            1_500_000,
+            &[1_500_000, 1_600_000],
+            110.0,
+        )]);
+        let cmp = Comparison::compare(&base, &slow, &CompareConfig::default()).unwrap();
+        assert_eq!(cmp.regressions(), 0, "{:?}", cmp.deltas);
+        // …while tight repetitions flag the same delta.
+        let tight_base = report(vec![scenario(
+            "s",
+            1_000_000,
+            &[1_000_000, 1_010_000],
+            110.0,
+        )]);
+        let tight_slow = report(vec![scenario(
+            "s",
+            1_500_000,
+            &[1_500_000, 1_510_000],
+            110.0,
+        )]);
+        let cmp = Comparison::compare(&tight_base, &tight_slow, &CompareConfig::default()).unwrap();
+        assert_eq!(cmp.regressions(), 1, "{:?}", cmp.deltas);
+    }
+
+    #[test]
+    fn quality_drift_is_gated_independently_of_timing_noise() {
+        let base = report(vec![scenario(
+            "s",
+            1_000_000,
+            &[1_000_000, 1_900_000],
+            110.0,
+        )]);
+        let worse = report(vec![scenario(
+            "s",
+            1_000_000,
+            &[1_000_000, 1_900_000],
+            111.0,
+        )]);
+        let cmp = Comparison::compare(&base, &worse, &CompareConfig::default()).unwrap();
+        let quality: Vec<&MetricDelta> = cmp
+            .deltas
+            .iter()
+            .filter(|d| d.metric == "quality_percent_over")
+            .collect();
+        assert_eq!(quality.len(), 1);
+        assert_eq!(quality[0].verdict, Verdict::Regression);
+        assert_eq!(cmp.regressions(), 1, "timing stayed noise");
+    }
+
+    #[test]
+    fn fingerprint_mismatch_and_empty_intersection_fail() {
+        let a = report(vec![scenario("s", 1, &[1], 110.0)]);
+        let mut b = a.clone();
+        b.fingerprint = "0000000000000000".into();
+        let err = Comparison::compare(&a, &b, &CompareConfig::default()).unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
+        let empty_overlap = report(vec![scenario("t", 1, &[1], 110.0)]);
+        let err = Comparison::compare(&a, &empty_overlap, &CompareConfig::default()).unwrap_err();
+        assert!(err.contains("no scenario"), "{err}");
+    }
+
+    #[test]
+    fn one_sided_scenarios_are_skipped_not_fatal() {
+        let base = report(vec![
+            scenario("shared", 1_000_000, &[1_000_000], 110.0),
+            scenario("only_base", 1_000_000, &[1_000_000], 110.0),
+        ]);
+        let current = report(vec![
+            scenario("shared", 1_000_000, &[1_000_000], 110.0),
+            scenario("only_current", 1_000_000, &[1_000_000], 110.0),
+        ]);
+        let cmp = Comparison::compare(&base, &current, &CompareConfig::default()).unwrap();
+        assert_eq!(
+            cmp.skipped,
+            vec!["only_base".to_string(), "only_current".to_string()]
+        );
+        assert!(
+            cmp.verdict_line().contains("skipped"),
+            "{}",
+            cmp.verdict_line()
+        );
+    }
+
+    #[test]
+    fn table_renders_both_metric_units() {
+        let base = report(vec![scenario("s", 1_000_000, &[1_000_000], 110.0)]);
+        let slow = report(vec![scenario("s", 3_000_000, &[3_000_000], 112.0)]);
+        let cmp = Comparison::compare(&base, &slow, &CompareConfig::default()).unwrap();
+        let rendered = cmp.table().render();
+        assert!(rendered.contains("wall_ns"), "{rendered}");
+        assert!(rendered.contains("quality_percent_over"), "{rendered}");
+        assert!(rendered.contains("ms"), "{rendered}");
+        assert!(rendered.contains("pt"), "{rendered}");
+        assert!(rendered.contains("REGRESSION"), "{rendered}");
+    }
+}

@@ -1,0 +1,90 @@
+//! The perf trajectory: `BENCH_history.jsonl`.
+//!
+//! One compact [`BenchReport`] per line, append-only, following the
+//! workspace's JSONL conventions (blank lines and `#`-comments are
+//! skipped on read). Each entry carries its git metadata and suite
+//! fingerprint, so the file reads as the repository's measured perf
+//! history: pick any two entries with matching fingerprints and
+//! [`Comparison::compare`](crate::Comparison::compare) them.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::report::BenchReport;
+
+/// Append `report` as one compact JSONL line, creating the file if
+/// missing.
+pub fn append_history(path: impl AsRef<Path>, report: &BenchReport) -> Result<(), String> {
+    let path = path.as_ref();
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    writeln!(file, "{}", report.to_json_line()).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Read every report in the history file, oldest first. Errors carry
+/// the 1-based line number.
+pub fn read_history(path: impl AsRef<Path>) -> Result<Vec<BenchReport>, String> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut reports = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        reports.push(
+            BenchReport::from_json(trimmed)
+                .map_err(|e| format!("{} line {}: {e}", path.display(), lineno + 1))?,
+        );
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mimd_bench_history_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn history_appends_and_reads_back_in_order() {
+        let path = tmp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let a = BenchReport::new("quick", "aaaa", vec![]);
+        let b = BenchReport::new("full", "bbbb", vec![]);
+        append_history(&path, &a).unwrap();
+        append_history(&path, &b).unwrap();
+        let back = read_history(&path).unwrap();
+        assert_eq!(back, vec![a, b]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn history_skips_comments_and_reports_bad_lines() {
+        let path = tmp_path("framing");
+        let report = BenchReport::new("quick", "cccc", vec![]);
+        std::fs::write(
+            &path,
+            format!("# trajectory\n\n{}\n", report.to_json_line()),
+        )
+        .unwrap();
+        assert_eq!(read_history(&path).unwrap(), vec![report]);
+        std::fs::write(&path, "{nope\n").unwrap();
+        let err = read_history(&path).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_history_is_an_error_with_the_path() {
+        let err = read_history("/nonexistent/bench/history.jsonl").unwrap_err();
+        assert!(err.contains("history.jsonl"), "{err}");
+    }
+}

@@ -1,0 +1,46 @@
+//! `mimd-bench` — the workspace's unified benchmark subsystem.
+//!
+//! Every perf claim in the ROADMAP (wider refinement pools,
+//! contention-aware objectives, concurrent serve, …) needs the same
+//! three things: a *repeatable workload*, a *versioned measurement*,
+//! and a *noise-aware comparison* against history. This crate provides
+//! all three as a pipeline:
+//!
+//! * [`suite`] — declarative [`BenchSuite`]s: named [`Scenario`]s
+//!   spanning flat maps, multilevel V-cycles, incremental trace
+//!   replays and whole [`MappingService`](mimd_service::MappingService)
+//!   request streams, parameterized over topology / size / algorithm
+//!   and fingerprinted so a baseline is only comparable to the suite
+//!   that produced it;
+//! * [`run`] — executes a suite min-of-k through the *existing*
+//!   engine/service entry points (never a private code path), with
+//!   telemetry enabled, asserting the structural half of every result
+//!   (quality, event counts) is identical across repetitions;
+//! * [`report`] — the versioned serde [`BenchReport`]: per-scenario
+//!   wall-clock, throughput, quality vs lower bound,
+//!   [`CacheStats`](mimd_engine::CacheStats) and p50/p90/p99 latencies
+//!   lifted from the recorder's histograms;
+//! * [`history`] — the append-only `BENCH_history.jsonl` trajectory
+//!   (git metadata + suite fingerprint per entry);
+//! * [`compare`] — classifies each metric of a (baseline, current)
+//!   pair as improvement / regression / noise, with per-scenario noise
+//!   floors calibrated from the repetition spread, rendered as a
+//!   mimd-report delta table. `mimd bench --compare` turns its verdict
+//!   into an exit code, so CI gates on it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod compare;
+pub mod history;
+pub mod report;
+pub mod run;
+pub mod suite;
+
+pub use compare::{CompareConfig, Comparison, MetricDelta, Verdict};
+pub use history::{append_history, read_history};
+pub use report::{
+    fnv64_hex, BenchReport, GitMeta, LatencyPercentiles, ScenarioReport, SCHEMA_VERSION,
+};
+pub use run::run_suite;
+pub use suite::{suite_by_name, suites, BenchSuite, Scenario, ScenarioKind};

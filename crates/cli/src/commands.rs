@@ -69,6 +69,7 @@ commands:
                to stderr, never touching the stdout record stream;
                --trace-out/--chrome-trace export the event journal
   serve      [--max-sessions <n>] [--telemetry] [--slow-ms <n>]
+             [--stats-interval <secs>]
              [--trace-out <file>] [--chrome-trace <file>]
              — long-running MappingService loop: one JSONL Request per
                stdin line (map_once | open_session | apply |
@@ -76,8 +77,21 @@ commands:
                stdout line; sessions share topology artifacts with
                one-shot jobs through one cache; --telemetry records
                spans/counters served back by the stats op; --slow-ms
-               logs slow requests to stderr; --trace-out/--chrome-trace
-               export the event journal on exit
+               logs slow requests to stderr; --stats-interval prints a
+               one-line stats snapshot to stderr every n seconds;
+               --trace-out/--chrome-trace export the event journal on
+               exit
+  bench      [--suite quick|full] [--reps <k>] [--list]
+             [--out <file|->] [--history <file>] [--no-history]
+             [--compare <baseline.json>] [--with <report.json>]
+             [--noise-floor <frac>] [--quality-tolerance <pts>]
+             — run a declarative benchmark suite (flat map, multilevel
+               V-cycle, incremental replay, service stream) min-of-k
+               and emit a versioned BenchReport; appends to
+               BENCH_history.jsonl unless --no-history; --compare
+               classifies each metric vs a baseline report as
+               improvement/regression/noise (exit 1 on regression);
+               --with compares an existing report instead of running
   algorithms (no flags) — list every registry algorithm with a
                one-line description
   paper      (no flags) — reproduce the worked example's artifacts
@@ -114,6 +128,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "trace" => cmd_trace(&flags),
         "replay" => cmd_replay(&flags),
         "serve" => cmd_serve(&flags),
+        "bench" => cmd_bench(&flags),
         "algorithms" => cmd_algorithms(&flags),
         "paper" => cmd_paper(&flags),
         other => Err(format!("unknown command '{other}'")),
@@ -582,6 +597,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         "max-sessions",
         "telemetry",
         "slow-ms",
+        "stats-interval",
         "trace-out",
         "chrome-trace",
     ])?;
@@ -589,22 +605,72 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         .get("slow-ms")
         .map(|v| v.parse().map_err(|_| format!("bad --slow-ms '{v}'")))
         .transpose()?;
+    let stats_interval: Option<u64> = flags
+        .get("stats-interval")
+        .map(|v| v.parse().map_err(|_| format!("bad --stats-interval '{v}'")))
+        .transpose()?;
+    if flags.has("stats-interval") && stats_interval.is_none() {
+        return Err("--stats-interval needs a whole number of seconds".into());
+    }
+    if stats_interval == Some(0) {
+        return Err("--stats-interval must be at least 1 second".into());
+    }
     let defaults = mimd_service::ServiceConfig::default();
     let service = mimd_service::MappingService::new(mimd_service::ServiceConfig {
         max_sessions: flags.num("max-sessions", defaults.max_sessions)?,
-        // --slow-ms implies telemetry so the serve.slow_requests
-        // counter lands in the stats line the loop prints on exit.
-        telemetry: flags.has("telemetry") || slow_ms.is_some(),
+        // --slow-ms and --stats-interval imply telemetry so the
+        // serve.slow_requests / serve.stats_emitted counters land in
+        // the stats line the loop prints on exit.
+        telemetry: flags.has("telemetry") || slow_ms.is_some() || stats_interval.is_some(),
         journal: journaling(flags)?,
         ..defaults
     });
-    let summary = match mimd_service::serve_jsonl_with(
-        &service,
-        std::io::stdin().lock(),
-        std::io::stdout().lock(),
-        std::io::stderr(),
-        mimd_service::ServeOptions { slow_ms },
-    ) {
+    // The periodic stats emitter writes one line to stderr per tick —
+    // strictly off the stdout protocol stream, which stays
+    // byte-identical with or without the emitter running.
+    let started = std::time::Instant::now();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let result = std::thread::scope(|scope| {
+        let stop = &stop;
+        let service_ref = &service;
+        let emitter = stats_interval.map(|secs| {
+            scope.spawn(move || {
+                let period = std::time::Duration::from_secs(secs);
+                let tick = std::time::Duration::from_millis(50);
+                let mut next = period;
+                loop {
+                    while started.elapsed() < next {
+                        if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(tick.min(next.saturating_sub(started.elapsed())));
+                    }
+                    if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        return;
+                    }
+                    service_ref.note_stats_emitted();
+                    eprintln!(
+                        "{}",
+                        mimd_service::stats_line(&service_ref.stats(), started.elapsed().as_secs())
+                    );
+                    next += period;
+                }
+            })
+        });
+        let result = mimd_service::serve_jsonl_with(
+            &service,
+            std::io::stdin().lock(),
+            std::io::stdout().lock(),
+            std::io::stderr(),
+            mimd_service::ServeOptions { slow_ms },
+        );
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(handle) = emitter {
+            let _ = handle.join();
+        }
+        result
+    });
+    let summary = match result {
         Ok(summary) => summary,
         // Consumer closed the pipe: conventional clean stop.
         Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => return Ok(()),
@@ -622,6 +688,127 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         eprint!("{}", mimd_report::render_profile(&stats.telemetry));
     }
     emit_journal(&service.journal_snapshot(), flags)?;
+    Ok(())
+}
+
+/// `mimd bench`: run a declarative benchmark suite min-of-k through
+/// the engine/service entry points, emit a versioned `BenchReport`
+/// (stdout or `--out`), append it to the `BENCH_history.jsonl`
+/// trajectory, and — with `--compare` — classify every metric against
+/// a baseline report, exiting 1 on regression so CI can gate on it.
+fn cmd_bench(flags: &Flags) -> Result<(), String> {
+    flags.allow_only(&[
+        "suite",
+        "reps",
+        "list",
+        "out",
+        "history",
+        "no-history",
+        "compare",
+        "with",
+        "noise-floor",
+        "quality-tolerance",
+    ])?;
+    for name in ["with", "compare", "out", "history"] {
+        if flags.has(name) && flags.get(name).is_none() {
+            return Err(format!("--{name} needs a file path"));
+        }
+    }
+    if flags.has("list") {
+        let mut table = Table::new(
+            "bench suites (mimd bench --suite <name>)",
+            &["suite", "reps", "scenario", "kind"],
+        );
+        for suite in mimd_bench::suites() {
+            for scenario in &suite.scenarios {
+                table.push_row(vec![
+                    suite.name.clone(),
+                    suite.reps.to_string(),
+                    scenario.name.clone(),
+                    scenario.kind_label(),
+                ]);
+            }
+        }
+        println!("{}", table.render());
+        return Ok(());
+    }
+
+    // The current report: --with loads an existing one from disk,
+    // otherwise the suite runs here.
+    let current = match flags.get("with") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            mimd_bench::BenchReport::from_json(&text)?
+        }
+        None => {
+            let suite = mimd_bench::suite_by_name(flags.get("suite").unwrap_or("quick"))?;
+            let reps = flags.num("reps", suite.reps)?;
+            if reps == 0 {
+                return Err("--reps must be at least 1".into());
+            }
+            eprintln!(
+                "bench: suite '{}' ({} scenarios, min of {reps} reps)",
+                suite.name,
+                suite.scenarios.len()
+            );
+            let report = mimd_bench::run_suite(&suite, reps)?.with_environment();
+
+            let json = report.to_json_pretty();
+            match flags.get("out") {
+                Some("-") => println!("{json}"),
+                Some(path) => {
+                    std::fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))?
+                }
+                // No --out: the report goes to stdout unless a compare
+                // is the point of the run.
+                None if flags.get("compare").is_none() => println!("{json}"),
+                None => {}
+            }
+            if !flags.has("no-history") {
+                let path = flags.get("history").unwrap_or("BENCH_history.jsonl");
+                mimd_bench::append_history(path, &report)?;
+                eprintln!("bench: appended to {path}");
+            }
+
+            let mut table = Table::new(
+                "bench results (min-of-k wall-clock)",
+                &["scenario", "kind", "wall", "items/s", "% over LB"],
+            );
+            for s in &report.scenarios {
+                table.push_row(vec![
+                    s.name.clone(),
+                    s.kind.clone(),
+                    format!("{:.2}ms", s.wall_ns as f64 / 1e6),
+                    format!("{:.0}", s.items_per_sec),
+                    s.quality_percent_over
+                        .map(|q| format!("{q:.2}"))
+                        .unwrap_or_else(|| "-".into()),
+                ]);
+            }
+            eprintln!("{}", table.render());
+            report
+        }
+    };
+
+    if let Some(path) = flags.get("compare") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let baseline = mimd_bench::BenchReport::from_json(&text)?;
+        let defaults = mimd_bench::CompareConfig::default();
+        let config = mimd_bench::CompareConfig {
+            noise_floor: flags.num("noise-floor", defaults.noise_floor)?,
+            quality_tolerance: flags.num("quality-tolerance", defaults.quality_tolerance)?,
+            ..defaults
+        };
+        let comparison = mimd_bench::Comparison::compare(&baseline, &current, &config)?;
+        eprintln!("{}", comparison.table().render());
+        eprintln!("{}", comparison.verdict_line());
+        if comparison.regressions() > 0 {
+            // A gate failure is a verdict, not a usage error: exit 1
+            // directly instead of bubbling an Err (which would print
+            // the usage text and exit 2).
+            std::process::exit(1);
+        }
+    }
     Ok(())
 }
 
@@ -1192,6 +1379,25 @@ mod tests {
     fn algorithms_lists_the_registry() {
         run(&["algorithms"]).unwrap();
         assert!(run(&["algorithms", "--verbose"]).is_err());
+    }
+
+    #[test]
+    fn bench_lists_suites_and_rejects_misuse() {
+        run(&["bench", "--list"]).unwrap();
+        // Every validation error below fires before any scenario runs.
+        assert!(run(&["bench", "--bogus"]).is_err());
+        assert!(run(&["bench", "--suite", "nope"]).is_err());
+        assert!(run(&["bench", "--reps", "0"]).is_err());
+        assert!(run(&["bench", "--with", "/nonexistent/bench-report.json"]).is_err());
+        assert!(run(&["bench", "--with"]).is_err());
+    }
+
+    #[test]
+    fn serve_stats_interval_is_validated() {
+        // Each misuse is rejected before the serve loop touches stdin.
+        assert!(run(&["serve", "--stats-interval"]).is_err());
+        assert!(run(&["serve", "--stats-interval", "0"]).is_err());
+        assert!(run(&["serve", "--stats-interval", "two"]).is_err());
     }
 
     #[test]

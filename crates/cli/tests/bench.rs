@@ -1,0 +1,128 @@
+//! End-to-end `mimd bench` acceptance: the quick suite runs every
+//! scenario kind through the real binary, appends to the history
+//! trajectory, compares as noise against itself, and the compare gate
+//! exits non-zero when the current report is synthetically slowed.
+
+use std::process::{Command, Output, Stdio};
+
+use mimd_bench::BenchReport;
+
+/// Run the `mimd` binary with `args`, returning the raw output
+/// (callers check the exit status themselves: the compare gate uses
+/// exit code 1 as its verdict).
+fn run_mimd(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mimd"))
+        .args(args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("mimd binary spawns")
+}
+
+fn stderr_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn quick_suite_reports_compares_and_gates() {
+    let dir = std::env::temp_dir().join(format!("mimd-bench-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let report_path = dir.join("report.json");
+    let history_path = dir.join("history.jsonl");
+    let _ = std::fs::remove_file(&history_path);
+
+    // One quick-suite run: report to a file, history appended.
+    let run = run_mimd(&[
+        "bench",
+        "--suite",
+        "quick",
+        "--reps",
+        "2",
+        "--out",
+        report_path.to_str().unwrap(),
+        "--history",
+        history_path.to_str().unwrap(),
+    ]);
+    assert!(run.status.success(), "{}", stderr_of(&run));
+
+    let report = BenchReport::from_json(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+    assert_eq!(report.suite, "quick");
+    assert!(!report.fingerprint.is_empty());
+    let kinds: Vec<&str> = report.scenarios.iter().map(|s| s.kind.as_str()).collect();
+    for kind in ["job:paper", "job:multilevel", "replay", "service_stream"] {
+        assert!(kinds.contains(&kind), "missing {kind} in {kinds:?}");
+    }
+    for scenario in &report.scenarios {
+        assert_eq!(scenario.rep_wall_ns.len(), 2, "{}", scenario.name);
+        assert!(scenario.items_per_sec > 0.0, "{}", scenario.name);
+        assert!(!scenario.latency.is_empty(), "{}", scenario.name);
+    }
+
+    let history = mimd_bench::read_history(&history_path).unwrap();
+    assert_eq!(history.len(), 1);
+    assert_eq!(history[0].fingerprint, report.fingerprint);
+
+    // A second identical run compared against the first: quality is
+    // deterministic and the generous noise floor absorbs wall-clock
+    // jitter, so the gate passes.
+    let rerun = run_mimd(&[
+        "bench",
+        "--suite",
+        "quick",
+        "--reps",
+        "2",
+        "--no-history",
+        "--compare",
+        report_path.to_str().unwrap(),
+        "--noise-floor",
+        "3.0",
+    ]);
+    assert!(rerun.status.success(), "{}", stderr_of(&rerun));
+    assert!(
+        stderr_of(&rerun).contains("bench compare:"),
+        "{}",
+        stderr_of(&rerun)
+    );
+
+    // Synthetically slow every scenario 50x: the gate must trip with
+    // exit code 1 (not the usage-error code 2).
+    let mut slowed = report.clone();
+    for scenario in &mut slowed.scenarios {
+        scenario.wall_ns *= 50;
+        for rep in &mut scenario.rep_wall_ns {
+            *rep *= 50;
+        }
+    }
+    let slowed_path = dir.join("slowed.json");
+    std::fs::write(&slowed_path, slowed.to_json_pretty() + "\n").unwrap();
+    let gated = run_mimd(&[
+        "bench",
+        "--with",
+        slowed_path.to_str().unwrap(),
+        "--compare",
+        report_path.to_str().unwrap(),
+    ]);
+    assert_eq!(gated.status.code(), Some(1), "{}", stderr_of(&gated));
+    assert!(
+        stderr_of(&gated).contains("REGRESSION"),
+        "{}",
+        stderr_of(&gated)
+    );
+
+    // Mirror direction: the slowed report as baseline makes the real
+    // one an improvement, and improvements never trip the gate.
+    let improved = run_mimd(&[
+        "bench",
+        "--with",
+        report_path.to_str().unwrap(),
+        "--compare",
+        slowed_path.to_str().unwrap(),
+    ]);
+    assert!(improved.status.success(), "{}", stderr_of(&improved));
+    assert!(
+        stderr_of(&improved).contains("improvement"),
+        "{}",
+        stderr_of(&improved)
+    );
+}

@@ -55,6 +55,44 @@ fn run_mimd(args: &[&str], stdin: &str) -> String {
 }
 
 #[test]
+fn stats_interval_emits_periodic_stderr_lines() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mimd"))
+        .args(["serve", "--stats-interval", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("mimd binary spawns");
+    let mut stdin = child.stdin.take().unwrap();
+    stdin.write_all(b"{\"op\":\"catalog\"}\n").unwrap();
+    stdin.flush().unwrap();
+    // Hold stdin open across two emitter periods, then EOF.
+    std::thread::sleep(std::time::Duration::from_millis(2300));
+    drop(stdin);
+    let output = child.wait_with_output().unwrap();
+    assert!(output.status.success());
+
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    let snapshots: Vec<&str> = stderr
+        .lines()
+        .filter(|line| line.starts_with("stats uptime_s="))
+        .collect();
+    assert!(snapshots.len() >= 2, "want >=2 snapshots in:\n{stderr}");
+    assert!(
+        snapshots.iter().all(|l| l.contains("requests_served=1")),
+        "{stderr}"
+    );
+
+    // stdout stays pure protocol: exactly one parseable response.
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let responses: Vec<Response> = stdout
+        .lines()
+        .map(|line| Response::from_json_line(line).unwrap_or_else(|e| panic!("{line}: {e}")))
+        .collect();
+    assert_eq!(responses.len(), 1, "{stdout}");
+}
+
+#[test]
 fn served_trace_is_byte_identical_to_replay() {
     let seed = 7;
     let (header, events) = torus_trace(1991, 60);

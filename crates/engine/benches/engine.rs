@@ -150,8 +150,11 @@ fn bench_cache_amortization(c: &mut Criterion) {
 /// spans per job — the acceptance target is < 2% over the no-op run.
 ///
 /// Besides the criterion group, this writes `BENCH_telemetry.json` at
-/// the workspace root (best-of-N wall times + relative overhead); the
-/// in-tree criterion stub has no file output of its own.
+/// the workspace root — a versioned [`mimd_bench::BenchReport`] with
+/// one `micro:telemetry` scenario (min-of-N enabled-recorder wall
+/// times; the disabled baseline and relative overhead ride along in
+/// `metrics`) — and appends the same report to `BENCH_history.jsonl`;
+/// the in-tree criterion stub has no file output of its own.
 fn bench_telemetry_overhead(c: &mut Criterion) {
     let jobs = batch_100();
     let run = |recorder: &Recorder| {
@@ -178,25 +181,48 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
 
     // Interleave the two arms so clock drift and cache state hit both
     // equally; best-of-REPS filters scheduler noise.
-    let mut disabled_ns = u64::MAX;
-    let mut enabled_ns = u64::MAX;
+    let mut disabled_reps = Vec::with_capacity(REPS);
+    let mut enabled_reps = Vec::with_capacity(REPS);
     for _ in 0..REPS {
-        disabled_ns = disabled_ns.min(once(&Recorder::disabled()));
-        enabled_ns = enabled_ns.min(once(&Recorder::enabled()));
+        disabled_reps.push(once(&Recorder::disabled()));
+        enabled_reps.push(once(&Recorder::enabled()));
     }
+    let disabled_ns = *disabled_reps.iter().min().unwrap();
+    let enabled_ns = *enabled_reps.iter().min().unwrap();
     let overhead = enabled_ns as f64 / disabled_ns as f64 - 1.0;
-    let json = format!(
-        "{{\n  \"bench\": \"engine_batch_100jobs_hypercube16\",\n  \
-         \"threads\": 1,\n  \"reps\": {REPS},\n  \
-         \"disabled_ns\": {disabled_ns},\n  \"enabled_ns\": {enabled_ns},\n  \
-         \"overhead_percent\": {:.3}\n}}\n",
-        overhead * 100.0
+    let scenario = mimd_bench::ScenarioReport {
+        name: "telemetry_overhead_batch100_hypercube16".into(),
+        kind: "micro:telemetry".into(),
+        reps: REPS,
+        items: jobs.len(),
+        wall_ns: enabled_ns,
+        rep_wall_ns: enabled_reps,
+        items_per_sec: jobs.len() as f64 / (enabled_ns as f64 / 1e9),
+        quality_percent_over: None,
+        cache: None,
+        latency: Default::default(),
+        metrics: [
+            ("disabled_ns".to_string(), disabled_ns as f64),
+            ("overhead_percent".to_string(), overhead * 100.0),
+        ]
+        .into_iter()
+        .collect(),
+    };
+    let fingerprint = mimd_bench::fnv64_hex(
+        format!("micro_telemetry:batch100:hypercube16:threads=1:reps={REPS}").as_bytes(),
     );
+    let report = mimd_bench::BenchReport::new("micro_telemetry", &fingerprint, vec![scenario])
+        .with_environment();
     std::fs::write(
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json"),
-        json,
+        report.to_json_pretty() + "\n",
     )
     .expect("write BENCH_telemetry.json");
+    mimd_bench::append_history(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_history.jsonl"),
+        &report,
+    )
+    .expect("append BENCH_history.jsonl");
 
     let mut group = c.benchmark_group("engine_telemetry_overhead");
     group.sample_size(10);

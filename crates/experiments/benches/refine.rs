@@ -10,11 +10,14 @@
 //! equal, so the speedup is measured on bit-identical work.
 //!
 //! Besides the criterion group this writes `BENCH_refine.json` at the
-//! workspace root (best-of-N wall times, candidates/sec and the
-//! delta-vs-flat speedup per machine size; acceptance target: ≥ 5× at
-//! ns = 1024). Random full re-placements (the paper's §4.3.3 rounds)
-//! disturb every cluster at once, so they gain far less from delta
-//! evaluation — the exchange path is where the cone locality pays.
+//! workspace root — a versioned [`mimd_bench::BenchReport`] with one
+//! `micro:refine` scenario per machine size (min-of-N delta wall
+//! times; flat wall times and the delta-vs-flat speedup ride along in
+//! `metrics`; acceptance target: ≥ 5× at ns = 1024) — and appends the
+//! same report to `BENCH_history.jsonl`. Random full re-placements
+//! (the paper's §4.3.3 rounds) disturb every cluster at once, so they
+//! gain far less from delta evaluation — the exchange path is where
+//! the cone locality pays.
 
 use std::time::Instant;
 
@@ -122,7 +125,7 @@ fn bench_refine_candidates(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(CANDIDATES as u64));
 
-    let mut entries = Vec::new();
+    let mut scenarios = Vec::new();
     for side in [8usize, 16, 32] {
         let case = case(side, CANDIDATES);
         let mut ws = DeltaWorkspace::new();
@@ -135,28 +138,38 @@ fn bench_refine_candidates(c: &mut Criterion) {
             case.ns
         );
 
-        let mut flat_ns = u64::MAX;
-        let mut delta_ns = u64::MAX;
+        let mut flat_reps = Vec::with_capacity(REPS);
+        let mut delta_reps = Vec::with_capacity(REPS);
         for _ in 0..REPS {
             let t = Instant::now();
             std::hint::black_box(flat_arm(&case));
-            flat_ns = flat_ns.min(t.elapsed().as_nanos() as u64);
+            flat_reps.push(t.elapsed().as_nanos() as u64);
             let t = Instant::now();
             std::hint::black_box(delta_arm(&case, &mut ws));
-            delta_ns = delta_ns.min(t.elapsed().as_nanos() as u64);
+            delta_reps.push(t.elapsed().as_nanos() as u64);
         }
+        let flat_ns = *flat_reps.iter().min().unwrap();
+        let delta_ns = *delta_reps.iter().min().unwrap();
         let per_sec = |total_ns: u64| CANDIDATES as f64 / (total_ns as f64 / 1e9);
-        entries.push(format!(
-            "  {{\"ns\": {}, \"candidates\": {CANDIDATES}, \"reps\": {REPS}, \
-             \"flat_ns\": {flat_ns}, \"delta_ns\": {delta_ns}, \
-             \"flat_candidates_per_sec\": {:.1}, \
-             \"delta_candidates_per_sec\": {:.1}, \
-             \"speedup\": {:.2}}}",
-            case.ns,
-            per_sec(flat_ns),
-            per_sec(delta_ns),
-            flat_ns as f64 / delta_ns as f64,
-        ));
+        scenarios.push(mimd_bench::ScenarioReport {
+            name: format!("refine_delta_torus{side}x{side}"),
+            kind: "micro:refine".into(),
+            reps: REPS,
+            items: CANDIDATES,
+            wall_ns: delta_ns,
+            rep_wall_ns: delta_reps,
+            items_per_sec: per_sec(delta_ns),
+            quality_percent_over: None,
+            cache: None,
+            latency: Default::default(),
+            metrics: [
+                ("flat_ns".to_string(), flat_ns as f64),
+                ("flat_candidates_per_sec".to_string(), per_sec(flat_ns)),
+                ("speedup".to_string(), flat_ns as f64 / delta_ns as f64),
+            ]
+            .into_iter()
+            .collect(),
+        });
 
         group.bench_with_input(BenchmarkId::new("flat", case.ns), &case, |b, case| {
             b.iter(|| flat_arm(case))
@@ -167,17 +180,22 @@ fn bench_refine_candidates(c: &mut Criterion) {
     }
     group.finish();
 
-    let json = format!(
-        "{{\n\"bench\": \"refine_candidate_throughput_torus\",\n\
-         \"candidate_kind\": \"pairwise_exchange\",\n\
-         \"model\": \"precedence\",\n\"sizes\": [\n{}\n]\n}}\n",
-        entries.join(",\n")
+    let fingerprint = mimd_bench::fnv64_hex(
+        format!("micro_refine:pairwise_exchange:precedence:sides=8,16,32:candidates={CANDIDATES}")
+            .as_bytes(),
     );
+    let report =
+        mimd_bench::BenchReport::new("micro_refine", &fingerprint, scenarios).with_environment();
     std::fs::write(
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_refine.json"),
-        json,
+        report.to_json_pretty() + "\n",
     )
     .expect("write BENCH_refine.json");
+    mimd_bench::append_history(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_history.jsonl"),
+        &report,
+    )
+    .expect("append BENCH_history.jsonl");
 }
 
 criterion_group!(benches, bench_refine_candidates);

@@ -34,8 +34,9 @@ fn bucket_label(index: usize) -> String {
 }
 
 /// Render a telemetry snapshot as a human-readable profile: the counter
-/// table, a per-phase latency summary (count / total / mean / min /
-/// max), and a log-spaced bucket chart per histogram.
+/// table, a per-phase latency summary (count / total / mean /
+/// p50 / p90 / p99 / min / max), and a log-spaced bucket chart per
+/// histogram.
 pub fn render_profile(snapshot: &TelemetrySnapshot) -> String {
     if snapshot.is_empty() {
         return "telemetry: (empty — run with telemetry enabled)\n".to_string();
@@ -56,7 +57,9 @@ pub fn render_profile(snapshot: &TelemetrySnapshot) -> String {
         }
         let mut table = Table::new(
             "phase breakdown (wall-clock)",
-            &["phase", "count", "total", "mean", "min", "max"],
+            &[
+                "phase", "count", "total", "mean", "p50", "p90", "p99", "min", "max",
+            ],
         );
         for (name, h) in &snapshot.histograms {
             table.push_row(vec![
@@ -64,6 +67,9 @@ pub fn render_profile(snapshot: &TelemetrySnapshot) -> String {
                 h.count.to_string(),
                 fmt_ns(h.sum_ns),
                 fmt_ns(h.mean_ns() as u64),
+                fmt_ns(h.p50_ns()),
+                fmt_ns(h.p90_ns()),
+                fmt_ns(h.p99_ns()),
                 fmt_ns(h.min_ns),
                 fmt_ns(h.max_ns),
             ]);
@@ -105,6 +111,9 @@ mod tests {
         assert!(r.contains("vcycle.runs"), "{r}");
         assert!(r.contains("phase breakdown"), "{r}");
         assert!(r.contains("service.apply"), "{r}");
+        for col in ["p50", "p90", "p99"] {
+            assert!(r.contains(col), "missing {col} column: {r}");
+        }
         // All four magnitudes show up humanized in the bucket labels.
         for unit in ["ns", "us", "ms", "s)"] {
             assert!(r.contains(unit), "missing {unit}: {r}");

@@ -32,5 +32,7 @@ pub use protocol::{
     CatalogEntry, ErrorCode, ErrorCounters, Request, Response, ServiceError, ServiceStats,
     SessionConfig,
 };
-pub use serve::{serve_jsonl, serve_jsonl_with, trace_requests, ServeOptions, ServeSummary};
+pub use serve::{
+    serve_jsonl, serve_jsonl_with, stats_line, trace_requests, ServeOptions, ServeSummary,
+};
 pub use service::{MappingService, ServiceConfig};

@@ -113,6 +113,28 @@ pub fn serve_jsonl_with(
     Ok(summary)
 }
 
+/// One periodic `--stats-interval` snapshot as a single diagnostic
+/// line: uptime, request/error totals and the journal gauges. The
+/// format is `stats k=v k=v …` — greppable, one line per emission, and
+/// strictly off the protocol stream (the serve loop prints it on its
+/// diagnostic writer, stderr in the CLI).
+pub fn stats_line(stats: &crate::protocol::ServiceStats, uptime_secs: u64) -> String {
+    format!(
+        "stats uptime_s={} requests_served={} errors={} open_sessions={} \
+         sessions_opened={} map_once_served={} events_applied={} \
+         journal_events={} journal_dropped={}",
+        uptime_secs,
+        stats.requests_served,
+        stats.errors.total(),
+        stats.open_sessions,
+        stats.sessions_opened,
+        stats.map_once_served,
+        stats.events_applied,
+        stats.journal.events,
+        stats.journal.dropped,
+    )
+}
+
 /// Convert a trace (header + events) into the request stream that
 /// serves it: `OpenSession`, one `Apply` per event, `CloseSession`.
 ///
@@ -245,6 +267,37 @@ mod tests {
                 .iter()
                 .any(|e| e.name == "service.stats" && e.request == Some(2)),
             "second request's context"
+        );
+    }
+
+    #[test]
+    fn stats_line_is_one_greppable_line() {
+        let config = crate::service::ServiceConfig {
+            telemetry: true,
+            ..Default::default()
+        };
+        let service = MappingService::new(config);
+        let input = "{\"op\":\"catalog\"}\n{oops\n";
+        let mut output = Vec::new();
+        serve_jsonl(&service, input.as_bytes(), &mut output).unwrap();
+        service.note_stats_emitted();
+        service.note_stats_emitted();
+        let line = stats_line(&service.stats(), 12);
+        assert!(!line.contains('\n'));
+        assert!(
+            line.starts_with("stats uptime_s=12 requests_served=2 "),
+            "{line}"
+        );
+        assert!(line.contains("errors=1"), "{line}");
+        assert!(line.contains("open_sessions=0"), "{line}");
+        assert!(
+            line.contains("journal_events=0 journal_dropped=0"),
+            "{line}"
+        );
+        assert_eq!(
+            service.stats().telemetry.counter("serve.stats_emitted"),
+            2,
+            "emissions are counted"
         );
     }
 

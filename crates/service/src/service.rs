@@ -275,6 +275,12 @@ impl MappingService {
         self.recorder.incr("serve.slow_requests");
     }
 
+    /// Count one periodic `--stats-interval` snapshot emitted on the
+    /// serve loop's diagnostic stream (see [`crate::stats_line`]).
+    pub fn note_stats_emitted(&self) {
+        self.recorder.incr("serve.stats_emitted");
+    }
+
     /// Run one job against the shared cache (the engine's single-job
     /// code path; the batch engine and `MapOnce` behave identically).
     pub fn map_job(&self, spec: &JobSpec) -> JobResult {

@@ -161,6 +161,46 @@ impl HistogramSnapshot {
     pub fn bucket_total(&self) -> u64 {
         self.buckets.iter().map(|&(_, c)| c).sum()
     }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) estimated from the bucket
+    /// layout: the rank-`ceil(q·count)` observation's bucket, reported
+    /// as that bucket's inclusive upper bound clamped to the observed
+    /// `[min_ns, max_ns]` range. Exact when the bucket holding the rank
+    /// also holds `max_ns` (or `min_ns`); otherwise pessimistic by at
+    /// most one bucket width. Returns 0 for an empty histogram.
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(index, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                let (_, high) = bucket_bounds(index.min(BUCKETS - 1));
+                // The bucket is half-open [low, high): its largest
+                // representable value is high - 1.
+                let estimate = high.map(|h| h - 1).unwrap_or(self.max_ns);
+                return estimate.clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median estimate (see [`HistogramSnapshot::percentile_ns`]).
+    pub fn p50_ns(&self) -> u64 {
+        self.percentile_ns(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90_ns(&self) -> u64 {
+        self.percentile_ns(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99_ns(&self) -> u64 {
+        self.percentile_ns(0.99)
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +244,65 @@ mod tests {
         let s = LatencyHistogram::new().snapshot();
         assert_eq!(s, HistogramSnapshot::default());
         assert_eq!(s.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_pin_bucket_boundaries() {
+        let mut h = LatencyHistogram::new();
+        for ns in [7u64, 3, 250, 3] {
+            h.record(ns);
+        }
+        let s = h.snapshot();
+        // Ranks: p25 → 1st (bucket [2,4) → 3), p50 → 2nd (same bucket),
+        // p75 → 3rd (bucket [4,8) → 7), p99 → 4th (bucket [128,256)
+        // whose upper bound 255 clamps to the observed max 250).
+        assert_eq!(s.percentile_ns(0.25), 3);
+        assert_eq!(s.p50_ns(), 3);
+        assert_eq!(s.percentile_ns(0.75), 7);
+        assert_eq!(s.p90_ns(), 250);
+        assert_eq!(s.p99_ns(), 250);
+        // q = 0 is the smallest observation's bucket, clamped to min.
+        assert_eq!(s.percentile_ns(0.0), 3);
+        assert_eq!(s.percentile_ns(1.0), 250);
+    }
+
+    #[test]
+    fn percentile_of_single_value_is_that_value() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000);
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.percentile_ns(q), 1_000, "q={q}");
+        }
+        assert_eq!(HistogramSnapshot::default().percentile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn percentile_in_open_ended_last_bucket_reports_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(5);
+        h.record(u64::MAX - 7);
+        let s = h.snapshot();
+        // 5 lives in [4, 8): the estimate is the bucket's inclusive
+        // upper bound 7 (pessimistic by at most one bucket width).
+        assert_eq!(s.p50_ns(), 7);
+        assert_eq!(s.p99_ns(), u64::MAX - 7, "open bucket falls back to max");
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_q() {
+        let mut h = LatencyHistogram::new();
+        for ns in [1u64, 2, 4, 9, 17, 33, 70, 150, 300, 1_000] {
+            h.record(ns);
+        }
+        let s = h.snapshot();
+        let mut last = 0;
+        for i in 0..=100 {
+            let p = s.percentile_ns(i as f64 / 100.0);
+            assert!(p >= last, "q={i}%: {p} < {last}");
+            last = p;
+        }
+        assert!(last <= s.max_ns);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! because a nondeterministic benchmark cannot gate anything.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -16,6 +18,7 @@ use rand::SeedableRng;
 
 use mimd_engine::JobSpec;
 use mimd_online::{DynamicWorkload, OnlineConfig, TraceHeader};
+use mimd_server::{run_loadgen, ListenAddr, LoadgenConfig, Server, ServerConfig};
 use mimd_service::{MappingService, Request, Response, ServiceConfig};
 use mimd_taskgraph::clustering::region::random_region_clustering;
 use mimd_taskgraph::workloads::{churn_trace, ChurnRegime};
@@ -61,10 +64,10 @@ fn run_scenario(scenario: &Scenario, reps: usize) -> Result<ScenarioReport, Stri
     let mut telemetry = TelemetrySnapshot::default();
     let mut cache = None;
     for rep in 0..reps {
-        let service = MappingService::new(ServiceConfig {
+        let service = Arc::new(MappingService::new(ServiceConfig {
             telemetry: true,
             ..ServiceConfig::default()
-        });
+        }));
         let started = Instant::now();
         let outcome = prepared.execute(&service).map_err(&fail)?;
         rep_wall_ns.push((started.elapsed().as_nanos() as u64).max(1));
@@ -121,7 +124,20 @@ enum Prepared {
         seed: u64,
     },
     ServiceStream(Vec<Request>),
+    ServiceLoad {
+        header: TraceHeader,
+        events: Vec<mimd_online::TraceEvent>,
+        sessions: usize,
+        connections: usize,
+        shards: usize,
+        queue_depth: usize,
+        seed: u64,
+    },
 }
+
+/// Distinguishes concurrently-running scenarios' socket paths within
+/// one process.
+static LOAD_SOCKET_SEQ: AtomicUsize = AtomicUsize::new(0);
 
 impl Prepared {
     fn latency_prefixes(&self) -> &'static [&'static str] {
@@ -129,10 +145,11 @@ impl Prepared {
             Prepared::Job(_) => &["engine."],
             Prepared::Replay { .. } => &["online.", "vcycle."],
             Prepared::ServiceStream(_) => &["service."],
+            Prepared::ServiceLoad { .. } => &["service."],
         }
     }
 
-    fn execute(&self, service: &MappingService) -> Result<RepOutcome, String> {
+    fn execute(&self, service: &Arc<MappingService>) -> Result<RepOutcome, String> {
         match self {
             Prepared::Job(job) => {
                 let result = service.map_job(job);
@@ -209,6 +226,71 @@ impl Prepared {
                     metrics,
                 })
             }
+            Prepared::ServiceLoad {
+                header,
+                events,
+                sessions,
+                connections,
+                shards,
+                queue_depth,
+                seed,
+            } => {
+                // An in-process server on a unique Unix socket, the
+                // real loadgen client against it, then a drain. Counts
+                // are the structural outcome; any error or admission
+                // reject would make repetitions diverge, so both are
+                // hard failures.
+                let socket = std::env::temp_dir().join(format!(
+                    "mimd-bench-{}-{}.sock",
+                    std::process::id(),
+                    LOAD_SOCKET_SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                let addr = ListenAddr::Unix(socket);
+                let server = Server::bind(
+                    Arc::clone(service),
+                    &addr,
+                    ServerConfig {
+                        shards: *shards,
+                        queue_depth: *queue_depth,
+                    },
+                )
+                .map_err(|e| format!("bind {addr}: {e}"))?;
+                let handle = server.spawn();
+                let load = run_loadgen(
+                    &addr,
+                    &LoadgenConfig {
+                        sessions: *sessions,
+                        connections: *connections,
+                        header: header.clone(),
+                        events: events.clone(),
+                        seed: *seed,
+                        rate: None,
+                    },
+                );
+                let summary = handle.stop().map_err(|e| format!("drain: {e}"))?;
+                let load = load.map_err(|e| format!("loadgen: {e}"))?;
+                if load.errors > 0 {
+                    return Err(format!("{} error responses under load", load.errors));
+                }
+                if summary.rejected > 0 {
+                    return Err(format!(
+                        "{} admission rejects; raise queue_depth for a deterministic rep",
+                        summary.rejected
+                    ));
+                }
+                let metrics = BTreeMap::from([
+                    ("sessions".to_string(), load.sessions as f64),
+                    ("connections".to_string(), load.connections as f64),
+                    ("requests".to_string(), load.requests as f64),
+                    ("sessions_closed".to_string(), load.sessions_closed as f64),
+                    ("shards".to_string(), *shards as f64),
+                ]);
+                Ok(RepOutcome {
+                    items: load.responses as usize,
+                    quality: None,
+                    metrics,
+                })
+            }
         }
     }
 }
@@ -268,6 +350,28 @@ fn prepare(scenario: &Scenario) -> Result<Prepared, String> {
             ));
             requests.push(Request::Stats);
             Ok(Prepared::ServiceStream(requests))
+        }
+        ScenarioKind::ServiceLoad {
+            sessions,
+            connections,
+            shards,
+            queue_depth,
+            tasks,
+            topology,
+            events,
+            seed,
+        } => {
+            let (header, trace) =
+                synthesize_trace(*tasks, topology.clone(), *events, "mixed", *seed)?;
+            Ok(Prepared::ServiceLoad {
+                header,
+                events: trace,
+                sessions: *sessions,
+                connections: *connections,
+                shards: *shards,
+                queue_depth: *queue_depth,
+                seed: *seed,
+            })
         }
     }
 }
@@ -367,6 +471,19 @@ mod tests {
                         seed: 3,
                     },
                 },
+                Scenario {
+                    name: "load_ring4".into(),
+                    kind: ScenarioKind::ServiceLoad {
+                        sessions: 4,
+                        connections: 2,
+                        shards: 2,
+                        queue_depth: 64,
+                        tasks: 24,
+                        topology: TopologySpec::Ring { n: 4 },
+                        events: 3,
+                        seed: 3,
+                    },
+                },
             ],
         }
     }
@@ -377,24 +494,38 @@ mod tests {
         let report = run_suite(&suite, 2).unwrap();
         assert_eq!(report.suite, "mini");
         assert_eq!(report.fingerprint, suite.fingerprint());
-        assert_eq!(report.scenarios.len(), 3);
+        assert_eq!(report.scenarios.len(), 4);
         for s in &report.scenarios {
             assert_eq!(s.reps, 2, "{}", s.name);
             assert_eq!(s.rep_wall_ns.len(), 2, "{}", s.name);
             assert!(s.wall_ns > 0 && s.items > 0, "{}", s.name);
             assert_eq!(s.wall_ns, *s.rep_wall_ns.iter().min().unwrap());
             assert!(s.items_per_sec > 0.0, "{}", s.name);
-            let q = s.quality_percent_over.expect("mapping scenarios score");
-            assert!(q >= 100.0, "{}: {q}", s.name);
+            if s.kind == "service_load" {
+                // Throughput scenario: no mapping-quality score.
+                assert!(s.quality_percent_over.is_none(), "{}", s.name);
+            } else {
+                let q = s.quality_percent_over.expect("mapping scenarios score");
+                assert!(q >= 100.0, "{}: {q}", s.name);
+            }
             assert!(s.cache.is_some(), "{}", s.name);
             assert!(!s.latency.is_empty(), "{}: telemetry captured", s.name);
         }
         assert_eq!(report.scenarios[0].kind, "job:paper");
         assert_eq!(report.scenarios[1].kind, "replay");
         assert_eq!(report.scenarios[2].kind, "service_stream");
+        assert_eq!(report.scenarios[3].kind, "service_load");
         // The stream answered its map + session traffic.
         let stream = &report.scenarios[2];
         assert_eq!(stream.items, 1 + (4 + 2) + 1, "jobs + session + stats");
+        // The load scenario answered every session chain in full.
+        let load = &report.scenarios[3];
+        assert_eq!(
+            load.items,
+            4 * (3 + 2),
+            "sessions x (open + events + close)"
+        );
+        assert_eq!(load.metrics["sessions_closed"], 4.0);
     }
 
     #[test]

@@ -58,6 +58,31 @@ pub enum ScenarioKind {
         /// Seed for the session workload, trace and mapping.
         seed: u64,
     },
+    /// The concurrent server under load: `mimd loadgen` driving
+    /// `sessions` open/apply/close sessions over `connections`
+    /// connections against an in-process
+    /// [`Server`](mimd_server::Server) on a Unix socket with `shards`
+    /// worker shards — the `mimd serve --listen` throughput number.
+    ServiceLoad {
+        /// Concurrent sessions to drive.
+        sessions: usize,
+        /// Client connections the sessions are spread over.
+        connections: usize,
+        /// Worker shards the server runs.
+        shards: usize,
+        /// Per-shard queue depth; sized so nothing is rejected —
+        /// admission churn would make the repetition nondeterministic.
+        queue_depth: usize,
+        /// Tasks in the shared session workload.
+        tasks: usize,
+        /// Every session's machine.
+        topology: TopologySpec,
+        /// Churn events each session applies.
+        events: usize,
+        /// Seed for the shared trace; session `i` opens with
+        /// `seed + i`.
+        seed: u64,
+    },
 }
 
 /// One named scenario of a suite.
@@ -70,13 +95,14 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// The report's `kind` label: `job:<algorithm>`, `replay` or
-    /// `service_stream`.
+    /// The report's `kind` label: `job:<algorithm>`, `replay`,
+    /// `service_stream` or `service_load`.
     pub fn kind_label(&self) -> String {
         match &self.kind {
             ScenarioKind::Job { job } => format!("job:{}", job.algorithm.name()),
             ScenarioKind::Replay { .. } => "replay".to_string(),
             ScenarioKind::ServiceStream { .. } => "service_stream".to_string(),
+            ScenarioKind::ServiceLoad { .. } => "service_load".to_string(),
         }
     }
 }
@@ -213,6 +239,22 @@ fn quick_suite() -> BenchSuite {
                     seed: 11,
                 },
             },
+            Scenario {
+                name: "serve_load_ring8".into(),
+                kind: ScenarioKind::ServiceLoad {
+                    sessions: 64,
+                    connections: 8,
+                    shards: 4,
+                    // Far above sessions × (events + 2): zero
+                    // admission rejects, so the repetition outcome is
+                    // deterministic.
+                    queue_depth: 1024,
+                    tasks: 64,
+                    topology: TopologySpec::Ring { n: 8 },
+                    events: 6,
+                    seed: 11,
+                },
+            },
         ],
     }
 }
@@ -322,7 +364,13 @@ mod tests {
     fn builtin_suites_cover_every_scenario_kind() {
         let quick = suite_by_name("quick").unwrap();
         let kinds: Vec<String> = quick.scenarios.iter().map(Scenario::kind_label).collect();
-        for kind in ["job:paper", "job:multilevel", "replay", "service_stream"] {
+        for kind in [
+            "job:paper",
+            "job:multilevel",
+            "replay",
+            "service_stream",
+            "service_load",
+        ] {
             assert!(kinds.iter().any(|k| k == kind), "quick misses {kind}");
         }
         assert!(suite_by_name("full").unwrap().scenarios.len() > quick.scenarios.len());

@@ -70,6 +70,8 @@ commands:
                --trace-out/--chrome-trace export the event journal
   serve      [--max-sessions <n>] [--telemetry] [--slow-ms <n>]
              [--stats-interval <secs>]
+             [--listen <host:port|socket-path>] [--shards <n>]
+             [--queue-depth <k>]
              [--trace-out <file>] [--chrome-trace <file>]
              — long-running MappingService loop: one JSONL Request per
                stdin line (map_once | open_session | apply |
@@ -80,7 +82,19 @@ commands:
                logs slow requests to stderr; --stats-interval prints a
                one-line stats snapshot to stderr every n seconds;
                --trace-out/--chrome-trace export the event journal on
-               exit
+               exit; --listen serves concurrent connections on a TCP
+               address or Unix socket path instead of stdin — sessions
+               hash to --shards worker shards (per-session FIFO kept),
+               a full per-shard queue (--queue-depth) answers
+               overloaded, and stdin EOF drains gracefully
+  loadgen    --connect <host:port|socket-path> [--sessions <n>]
+             [--connections <n>] [--events <n>] [--tasks <n>]
+             [--spec <kind:params>] [--regime arrivals|drift|mixed]
+             [--seed <u64>] [--rate <opens/sec>] [--json]
+             — drive concurrent open/apply/close sessions against a
+               listening `mimd serve --listen` and report sustained
+               req/s plus p50/p90/p99 latency (human line on stderr,
+               JSON report on stdout with --json)
   bench      [--suite quick|full] [--reps <k>] [--list]
              [--out <file|->] [--history <file>] [--no-history]
              [--compare <baseline.json>] [--with <report.json>]
@@ -128,6 +142,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "trace" => cmd_trace(&flags),
         "replay" => cmd_replay(&flags),
         "serve" => cmd_serve(&flags),
+        "loadgen" => cmd_loadgen(&flags),
         "bench" => cmd_bench(&flags),
         "algorithms" => cmd_algorithms(&flags),
         "paper" => cmd_paper(&flags),
@@ -598,6 +613,9 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         "telemetry",
         "slow-ms",
         "stats-interval",
+        "listen",
+        "shards",
+        "queue-depth",
         "trace-out",
         "chrome-trace",
     ])?;
@@ -615,6 +633,17 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     if stats_interval == Some(0) {
         return Err("--stats-interval must be at least 1 second".into());
     }
+    if !flags.has("listen") {
+        for concurrent_only in ["shards", "queue-depth"] {
+            if flags.has(concurrent_only) {
+                return Err(format!("--{concurrent_only} needs --listen"));
+            }
+        }
+    } else if slow_ms.is_some() {
+        // The slow-request clock wraps the blocking stdin loop; shard
+        // workers time nothing, so advertising the flag would lie.
+        return Err("--slow-ms applies to the stdin serve loop only, not --listen".into());
+    }
     let defaults = mimd_service::ServiceConfig::default();
     let service = mimd_service::MappingService::new(mimd_service::ServiceConfig {
         max_sessions: flags.num("max-sessions", defaults.max_sessions)?,
@@ -625,6 +654,9 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         journal: journaling(flags)?,
         ..defaults
     });
+    if let Some(listen) = flags.get("listen") {
+        return serve_listen(flags, service, listen, stats_interval);
+    }
     // The periodic stats emitter writes one line to stderr per tick —
     // strictly off the stdout protocol stream, which stays
     // byte-identical with or without the emitter running.
@@ -688,6 +720,213 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         eprint!("{}", mimd_report::render_profile(&stats.telemetry));
     }
     emit_journal(&service.journal_snapshot(), flags)?;
+    Ok(())
+}
+
+/// `mimd serve --listen`: the concurrent front end. Accepts on a TCP
+/// address or Unix socket, shards sessions over workers, and drains
+/// gracefully when stdin reaches EOF (the shutdown signal a sidecar
+/// can deliver without platform signal handling).
+fn serve_listen(
+    flags: &Flags,
+    service: mimd_service::MappingService,
+    listen: &str,
+    stats_interval: Option<u64>,
+) -> Result<(), String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let addr = mimd_server::ListenAddr::parse(listen)?;
+    let shards = flags.num("shards", 4usize)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let queue_depth = flags.num("queue-depth", 256usize)?;
+    if queue_depth == 0 {
+        return Err("--queue-depth must be at least 1".into());
+    }
+    let service = Arc::new(service);
+    let server = mimd_server::Server::bind(
+        Arc::clone(&service),
+        &addr,
+        mimd_server::ServerConfig {
+            shards,
+            queue_depth,
+        },
+    )
+    .map_err(|e| format!("bind {addr}: {e}"))?;
+    // The bound address resolves TCP port 0 — clients (and tests)
+    // parse this line to know where to connect.
+    eprintln!(
+        "listening on {} ({shards} shards, queue depth {queue_depth})",
+        server.local_display()
+    );
+
+    let started = std::time::Instant::now();
+    let stop = Arc::new(AtomicBool::new(false));
+    // Drain trigger: stdin EOF. The watcher stays detached — if the
+    // server dies on its own the process exits and takes it along.
+    {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            use std::io::Read;
+            let mut sink = [0u8; 4096];
+            let mut stdin = std::io::stdin().lock();
+            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
+    let emitter = stats_interval.map(|secs| {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let period = std::time::Duration::from_secs(secs);
+            let tick = std::time::Duration::from_millis(50);
+            let mut next = period;
+            loop {
+                while started.elapsed() < next {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(tick.min(next.saturating_sub(started.elapsed())));
+                }
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                service.note_stats_emitted();
+                eprintln!(
+                    "{}",
+                    mimd_service::stats_line(&service.stats(), started.elapsed().as_secs())
+                );
+                next += period;
+            }
+        })
+    });
+
+    let result = server.run(Arc::clone(&stop));
+    stop.store(true, Ordering::Relaxed);
+    if let Some(handle) = emitter {
+        let _ = handle.join();
+    }
+    let summary = result.map_err(|e| format!("serve: {e}"))?;
+    let stats = service.stats();
+    eprintln!(
+        "serve: drained; {} requests ({} rejected, {} malformed) over {} connections; {}",
+        summary.requests,
+        summary.rejected,
+        summary.malformed_lines(),
+        summary.connections,
+        serde_json::to_string(&stats).map_err(|e| e.to_string())?,
+    );
+    for conn in summary
+        .per_connection
+        .iter()
+        .filter(|c| c.malformed_lines > 0)
+    {
+        eprintln!(
+            "serve: conn {}: {} malformed of {} requests",
+            conn.conn, conn.malformed_lines, conn.requests
+        );
+    }
+    if flags.has("telemetry") {
+        eprint!("{}", mimd_report::render_profile(&stats.telemetry));
+    }
+    emit_journal(&service.journal_snapshot(), flags)?;
+    Ok(())
+}
+
+/// `mimd loadgen`: synthesize one small trace and drive it through
+/// many concurrent sessions against a listening `mimd serve --listen`,
+/// reporting sustained requests/sec and tail latency.
+fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
+    flags.allow_only(&[
+        "connect",
+        "sessions",
+        "connections",
+        "events",
+        "tasks",
+        "spec",
+        "regime",
+        "seed",
+        "rate",
+        "json",
+    ])?;
+    let connect = flags.get("connect").ok_or("loadgen needs --connect")?;
+    let addr = mimd_server::ListenAddr::parse(connect)?;
+    let sessions = flags.num("sessions", 64usize)?;
+    if sessions == 0 {
+        return Err("--sessions must be at least 1".into());
+    }
+    let connections = flags.num("connections", 8usize)?;
+    if connections == 0 {
+        return Err("--connections must be at least 1".into());
+    }
+    let rate: Option<f64> = flags
+        .get("rate")
+        .map(|v| v.parse().map_err(|_| format!("bad --rate '{v}'")))
+        .transpose()?;
+    if let Some(rate) = rate {
+        if rate.is_nan() || rate <= 0.0 {
+            return Err("--rate must be a positive opens/sec".into());
+        }
+    }
+
+    // Every session replays the same synthesized trace with its own
+    // seed, so the per-session work is identical and the measured
+    // spread is the server's.
+    let seed = flags.num("seed", 1991u64)?;
+    let topology = crate::args::parse_topology(flags.get("spec").unwrap_or("torus:4x4"))?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let system = topology.build(&mut rng).map_err(|e| e.to_string())?;
+    let tasks = flags.num("tasks", 64usize)?;
+    if tasks < system.len() {
+        return Err(format!(
+            "--tasks {} on a {}-processor machine; need np >= ns",
+            tasks,
+            system.len()
+        ));
+    }
+    let gen = LayeredDagGenerator::new(GeneratorConfig {
+        tasks,
+        ..GeneratorConfig::default()
+    })
+    .map_err(|e| e.to_string())?;
+    let problem = gen.generate(&mut rng);
+    let clustering =
+        random_region_clustering(&problem, system.len(), &mut rng).map_err(|e| e.to_string())?;
+    let base = ClusteredProblemGraph::new(problem, clustering).map_err(|e| e.to_string())?;
+    let events = flags.num("events", 6usize)?;
+    let regime =
+        mimd_taskgraph::workloads::ChurnRegime::parse(flags.get("regime").unwrap_or("mixed"))?;
+    let trace = mimd_taskgraph::workloads::churn_trace(&base, events, regime, &mut rng);
+    let header = mimd_online::TraceHeader {
+        topology,
+        topology_seed: Some(seed),
+        snapshot: mimd_online::DynamicWorkload::from_clustered(&base).snapshot(),
+    };
+
+    let report = mimd_server::run_loadgen(
+        &addr,
+        &mimd_server::LoadgenConfig {
+            sessions,
+            connections,
+            header,
+            events: trace,
+            seed,
+            rate,
+        },
+    )
+    .map_err(|e| format!("loadgen: {e}"))?;
+    eprintln!("{}", report.human_line());
+    if flags.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string(&report).map_err(|e| e.to_string())?
+        );
+    }
+    if report.errors > 0 {
+        return Err(format!("loadgen: {} error responses", report.errors));
+    }
     Ok(())
 }
 
@@ -1398,6 +1637,31 @@ mod tests {
         assert!(run(&["serve", "--stats-interval"]).is_err());
         assert!(run(&["serve", "--stats-interval", "0"]).is_err());
         assert!(run(&["serve", "--stats-interval", "two"]).is_err());
+    }
+
+    #[test]
+    fn serve_listen_flags_are_validated() {
+        // Concurrency knobs make no sense on the stdin loop…
+        assert!(run(&["serve", "--shards", "4"]).is_err());
+        assert!(run(&["serve", "--queue-depth", "64"]).is_err());
+        // …and each misuse below is rejected before anything binds.
+        assert!(run(&["serve", "--listen", "not-an-address"]).is_err());
+        assert!(run(&["serve", "--listen", "127.0.0.1:0", "--shards", "0"]).is_err());
+        assert!(run(&["serve", "--listen", "127.0.0.1:0", "--queue-depth", "0"]).is_err());
+        assert!(run(&["serve", "--listen", "127.0.0.1:0", "--slow-ms", "5"]).is_err());
+    }
+
+    #[test]
+    fn loadgen_flags_are_validated() {
+        assert!(run(&["loadgen"]).is_err()); // needs --connect
+        assert!(run(&["loadgen", "--connect", "not-an-address"]).is_err());
+        assert!(run(&["loadgen", "--connect", "127.0.0.1:1", "--sessions", "0"]).is_err());
+        assert!(run(&["loadgen", "--connect", "127.0.0.1:1", "--connections", "0"]).is_err());
+        assert!(run(&["loadgen", "--connect", "127.0.0.1:1", "--rate", "0"]).is_err());
+        assert!(run(&["loadgen", "--connect", "127.0.0.1:1", "--rate", "fast"]).is_err());
+        assert!(run(&["loadgen", "--connect", "127.0.0.1:1", "--bogus"]).is_err());
+        // A 4x4 torus needs at least 16 tasks.
+        assert!(run(&["loadgen", "--connect", "127.0.0.1:1", "--tasks", "8"]).is_err());
     }
 
     #[test]

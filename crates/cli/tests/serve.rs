@@ -93,6 +93,73 @@ fn stats_interval_emits_periodic_stderr_lines() {
 }
 
 #[test]
+fn listen_serve_with_loadgen_drains_cleanly() {
+    let socket = std::env::temp_dir().join(format!("mimd-cli-listen-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let mut server = Command::new(env!("CARGO_BIN_EXE_mimd"))
+        .args([
+            "serve",
+            "--listen",
+            socket.to_str().unwrap(),
+            "--shards",
+            "4",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("mimd binary spawns");
+    // The socket file appearing is the bind signal.
+    for _ in 0..400 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    assert!(socket.exists(), "server never bound {}", socket.display());
+
+    let loadgen = Command::new(env!("CARGO_BIN_EXE_mimd"))
+        .args([
+            "loadgen",
+            "--connect",
+            socket.to_str().unwrap(),
+            "--sessions",
+            "16",
+            "--connections",
+            "4",
+            "--events",
+            "3",
+            "--json",
+        ])
+        .stdin(Stdio::null())
+        .output()
+        .expect("loadgen spawns");
+    let loadgen_err = String::from_utf8(loadgen.stderr).unwrap();
+    assert!(loadgen.status.success(), "loadgen failed:\n{loadgen_err}");
+    assert!(loadgen_err.contains("req/s="), "{loadgen_err}");
+    let report: mimd_server::LoadReport =
+        serde_json::from_str(String::from_utf8(loadgen.stdout).unwrap().trim()).unwrap();
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.sessions_closed, 16);
+    // open + 3 events + close, per session.
+    assert_eq!(report.responses, 16 * 5);
+    assert!(report.requests_per_sec > 0.0);
+
+    // EOF on the server's stdin is the drain signal.
+    drop(server.stdin.take());
+    let output = server.wait_with_output().unwrap();
+    assert!(output.status.success());
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("listening on"), "{stderr}");
+    assert!(stderr.contains("serve: drained;"), "{stderr}");
+    assert!(
+        stderr.contains("80 requests (0 rejected, 0 malformed) over 4 connections"),
+        "{stderr}"
+    );
+    assert!(!socket.exists(), "drain removes the socket file");
+}
+
+#[test]
 fn served_trace_is_byte_identical_to_replay() {
     let seed = 7;
     let (header, events) = torus_trace(1991, 60);

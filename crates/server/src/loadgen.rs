@@ -1,0 +1,290 @@
+//! `mimd loadgen` — drive many concurrent sessions against a listening
+//! server and measure sustained throughput plus tail latency.
+//!
+//! The generator opens `sessions` sessions spread round-robin over
+//! `connections` connections. Every session replays the same trace
+//! events against the same header with a per-session seed
+//! (`seed + index`), so the server-side work per session is identical
+//! and the measured spread comes from the server, not the workload.
+//! Each connection pipelines its `OpenSession` lines up front
+//! (optionally paced by `rate`), then runs an event loop: every
+//! response triggers that session's next request (`Apply` … `Apply`,
+//! then `CloseSession`), so a connection keeps as many sessions
+//! inflight as it owns.
+//!
+//! Latency bookkeeping is per-request: the elapsed time between
+//! writing a request line and reading its response line, matched by
+//! session id (one outstanding request per session after open; opens
+//! are matched FIFO per connection, an approximation that is exact
+//! when opens answer in intake order). Counts in the report are exact
+//! and deterministic; latencies and requests/sec are wall-clock.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, Write};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use mimd_online::{TraceEvent, TraceHeader};
+use mimd_service::{Request, Response};
+use mimd_telemetry::{HistogramSnapshot, LatencyHistogram};
+use serde::{Deserialize, Serialize};
+
+use crate::transport::ListenAddr;
+
+/// What to drive: the session mix and its shared trace.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Total sessions to open, apply and close.
+    pub sessions: usize,
+    /// Concurrent connections the sessions are spread over.
+    pub connections: usize,
+    /// Trace header every session opens with (same topology → the
+    /// server's `TopologyCache` is shared across all of them).
+    pub header: TraceHeader,
+    /// Events each session applies, in order.
+    pub events: Vec<TraceEvent>,
+    /// Base seed; session `i` opens with `seed + i`.
+    pub seed: u64,
+    /// Session arrival rate in opens/sec across the whole run
+    /// (`None` = open everything immediately, maximum concurrency).
+    pub rate: Option<f64>,
+}
+
+/// What a load-generation run measured. The counts are exact; wall
+/// time, requests/sec and the latency histogram are wall-clock.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Sessions the run was asked to drive.
+    pub sessions: u64,
+    /// Connections the sessions were spread over.
+    pub connections: u64,
+    /// Request lines written.
+    pub requests: u64,
+    /// Response lines read.
+    pub responses: u64,
+    /// Responses that were `Error` (any code).
+    pub errors: u64,
+    /// Sessions that reached `SessionClosed`.
+    pub sessions_closed: u64,
+    /// Wall time of the whole run in nanoseconds.
+    pub wall_ns: u64,
+    /// Responses per wall second.
+    pub requests_per_sec: f64,
+    /// Per-request latency distribution (request written → response
+    /// read).
+    pub latency: HistogramSnapshot,
+}
+
+impl LoadReport {
+    /// One greppable summary line (`loadgen k=v …`, including
+    /// `req/s=`), for stderr.
+    pub fn human_line(&self) -> String {
+        format!(
+            "loadgen sessions={} connections={} requests={} responses={} errors={} \
+             sessions_closed={} wall_ms={} req/s={:.1} p50_us={} p90_us={} p99_us={}",
+            self.sessions,
+            self.connections,
+            self.requests,
+            self.responses,
+            self.errors,
+            self.sessions_closed,
+            self.wall_ns / 1_000_000,
+            self.requests_per_sec,
+            self.latency.p50_ns() / 1_000,
+            self.latency.p90_ns() / 1_000,
+            self.latency.p99_ns() / 1_000,
+        )
+    }
+}
+
+/// Per-connection tallies folded into the final report.
+#[derive(Default)]
+struct ConnTally {
+    requests: u64,
+    responses: u64,
+    errors: u64,
+    sessions_closed: u64,
+}
+
+/// Run the load against a listening server. Blocks until every session
+/// completes (or errors out of its request chain).
+pub fn run_loadgen(addr: &ListenAddr, config: &LoadgenConfig) -> io::Result<LoadReport> {
+    let connections = config.connections.max(1);
+    let histogram: Mutex<LatencyHistogram> = Mutex::new(LatencyHistogram::new());
+    let started = Instant::now();
+    // Pace opens across the whole run: each connection owns every
+    // `connections`-th session, so its inter-open gap is the global
+    // gap times the connection count.
+    let per_conn_gap = config
+        .rate
+        .filter(|r| *r > 0.0)
+        .map(|rate| Duration::from_secs_f64(connections as f64 / rate));
+
+    let tallies: Vec<io::Result<ConnTally>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|conn| {
+                let histogram = &histogram;
+                let config = &config;
+                let seeds: Vec<u64> = (conn..config.sessions)
+                    .step_by(connections)
+                    .map(|index| config.seed + index as u64)
+                    .collect();
+                scope.spawn(move || drive_connection(addr, config, seeds, per_conn_gap, histogram))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| {
+                handle
+                    .join()
+                    .unwrap_or_else(|_| Err(io::Error::other("loadgen connection panicked")))
+            })
+            .collect()
+    });
+
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    let mut total = ConnTally::default();
+    for tally in tallies {
+        let tally = tally?;
+        total.requests += tally.requests;
+        total.responses += tally.responses;
+        total.errors += tally.errors;
+        total.sessions_closed += tally.sessions_closed;
+    }
+    let latency = histogram
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .snapshot();
+    Ok(LoadReport {
+        sessions: config.sessions as u64,
+        connections: connections as u64,
+        requests: total.requests,
+        responses: total.responses,
+        errors: total.errors,
+        sessions_closed: total.sessions_closed,
+        wall_ns,
+        requests_per_sec: total.responses as f64 / (wall_ns.max(1) as f64 / 1e9),
+        latency,
+    })
+}
+
+/// Drive one connection's sessions to completion.
+fn drive_connection(
+    addr: &ListenAddr,
+    config: &LoadgenConfig,
+    seeds: Vec<u64>,
+    per_conn_gap: Option<Duration>,
+    histogram: &Mutex<LatencyHistogram>,
+) -> io::Result<ConnTally> {
+    let mut tally = ConnTally::default();
+    if seeds.is_empty() {
+        return Ok(tally);
+    }
+    let stream = addr.connect()?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+
+    // Phase 1: pipeline the opens (paced when a rate is set). The
+    // responses buffer on the socket until the event loop drains them.
+    let mut open_sent: VecDeque<Instant> = VecDeque::new();
+    for (i, seed) in seeds.iter().enumerate() {
+        if let (Some(gap), true) = (per_conn_gap, i > 0) {
+            std::thread::sleep(gap);
+        }
+        let request = Request::OpenSession {
+            header: config.header.clone(),
+            seed: *seed,
+            config: None,
+        };
+        writeln!(writer, "{}", request.to_json_line())?;
+        writer.flush()?;
+        open_sent.push_back(Instant::now());
+        tally.requests += 1;
+    }
+
+    // Phase 2: event loop — every response triggers that session's
+    // next request. `outstanding` hits zero only when every chain has
+    // finished (or died on an error response).
+    let mut outstanding = seeds.len() as u64;
+    let mut applied: HashMap<u64, usize> = HashMap::new();
+    let mut last_sent: HashMap<u64, Instant> = HashMap::new();
+    let mut line = String::new();
+    while outstanding > 0 {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::other(format!(
+                "server closed the connection with {outstanding} responses outstanding"
+            )));
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = Response::from_json_line(trimmed)
+            .map_err(|e| io::Error::other(format!("bad response line: {e}")))?;
+        tally.responses += 1;
+        outstanding -= 1;
+        let now = Instant::now();
+        let mut next: Option<Request> = None;
+        match &response {
+            Response::SessionOpened { session, .. } => {
+                if let Some(sent) = open_sent.pop_front() {
+                    record_latency(histogram, now.duration_since(sent));
+                }
+                applied.insert(*session, 0);
+                next = Some(next_request(config, *session, 0));
+            }
+            Response::Applied { session, .. } => {
+                if let Some(sent) = last_sent.remove(session) {
+                    record_latency(histogram, now.duration_since(sent));
+                }
+                let done = applied.entry(*session).or_insert(0);
+                *done += 1;
+                next = Some(next_request(config, *session, *done));
+            }
+            Response::SessionClosed { session, .. } => {
+                if let Some(sent) = last_sent.remove(session) {
+                    record_latency(histogram, now.duration_since(sent));
+                }
+                tally.sessions_closed += 1;
+            }
+            response if response.is_error() => {
+                tally.errors += 1;
+                // An error for a pending open means its SessionOpened
+                // never arrives; keep the FIFO latency queue aligned.
+                open_sent.pop_front();
+            }
+            _ => {}
+        }
+        if let Some(request) = next {
+            let session = request.session_id();
+            writeln!(writer, "{}", request.to_json_line())?;
+            writer.flush()?;
+            if let Some(id) = session {
+                last_sent.insert(id, Instant::now());
+            }
+            tally.requests += 1;
+            outstanding += 1;
+        }
+    }
+    Ok(tally)
+}
+
+/// The request a session sends after `done` applied events: the next
+/// `Apply`, or `CloseSession` once the trace is exhausted.
+fn next_request(config: &LoadgenConfig, session: u64, done: usize) -> Request {
+    match config.events.get(done) {
+        Some(event) => Request::Apply {
+            session,
+            event: event.clone(),
+        },
+        None => Request::CloseSession { session },
+    }
+}
+
+fn record_latency(histogram: &Mutex<LatencyHistogram>, elapsed: Duration) {
+    histogram
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .record(elapsed.as_nanos() as u64);
+}

@@ -1,0 +1,241 @@
+//! Listen-address parsing and the two stream transports.
+//!
+//! One address grammar covers both transports: a string containing `/`
+//! is a Unix-domain socket *path* (`/tmp/mimd.sock`, `./mimd.sock`),
+//! anything else must be a TCP `host:port` (`127.0.0.1:7000`; port `0`
+//! asks the OS for a free port — the server prints the actual bound
+//! address). The wire protocol on top is identical to `mimd serve`
+//! over stdin: one JSON request per line, one JSON response per line.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+
+/// A parsed listen/connect address: Unix-domain socket path or TCP
+/// `host:port`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ListenAddr {
+    /// Unix-domain socket at this filesystem path.
+    Unix(PathBuf),
+    /// TCP socket at this `host:port`.
+    Tcp(String),
+}
+
+impl ListenAddr {
+    /// Parse an address string: contains `/` → Unix socket path,
+    /// contains `:` → TCP `host:port`, anything else is an error.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if s.is_empty() {
+            return Err("empty listen address".into());
+        }
+        if s.contains('/') {
+            return Ok(ListenAddr::Unix(PathBuf::from(s)));
+        }
+        if s.contains(':') {
+            return Ok(ListenAddr::Tcp(s.to_string()));
+        }
+        Err(format!(
+            "listen address '{s}' is neither a socket path (must contain '/') \
+             nor a TCP host:port (must contain ':')"
+        ))
+    }
+
+    /// Bind a listener on this address. A stale Unix socket file left
+    /// by a previous process is removed first (binding an existing
+    /// path fails otherwise).
+    pub fn bind(&self) -> io::Result<Listener> {
+        match self {
+            ListenAddr::Unix(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                Ok(Listener::Unix(UnixListener::bind(path)?, path.clone()))
+            }
+            ListenAddr::Tcp(addr) => Ok(Listener::Tcp(TcpListener::bind(addr.as_str())?)),
+        }
+    }
+
+    /// Connect a client stream to this address.
+    pub fn connect(&self) -> io::Result<Stream> {
+        match self {
+            ListenAddr::Unix(path) => Ok(Stream::Unix(UnixStream::connect(path)?)),
+            ListenAddr::Tcp(addr) => Ok(Stream::Tcp(TcpStream::connect(addr.as_str())?)),
+        }
+    }
+}
+
+impl fmt::Display for ListenAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ListenAddr::Unix(path) => write!(f, "{}", path.display()),
+            ListenAddr::Tcp(addr) => write!(f, "{addr}"),
+        }
+    }
+}
+
+/// A bound listener over either transport.
+#[derive(Debug)]
+pub enum Listener {
+    /// Unix-domain listener plus the path it is bound to (kept so the
+    /// socket file can be removed on drain).
+    Unix(UnixListener, PathBuf),
+    /// TCP listener.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Switch the accept loop between blocking and polling mode. The
+    /// server polls (nonblocking accept + short sleep) so it can
+    /// notice the drain flag without a signal handler.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Listener::Unix(l, _) => l.set_nonblocking(nonblocking),
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// Accept one connection.
+    pub fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+
+    /// The address actually bound, printable — for TCP with port 0
+    /// this is the OS-assigned port clients must connect to.
+    pub fn local_display(&self) -> String {
+        match self {
+            Listener::Unix(_, path) => path.display().to_string(),
+            Listener::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "<unknown>".into()),
+        }
+    }
+
+    /// Remove the Unix socket file (no-op for TCP) — called after the
+    /// drain so a restart can re-bind the same path cleanly.
+    pub fn cleanup(&self) {
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// A connected stream over either transport.
+#[derive(Debug)]
+pub enum Stream {
+    /// Unix-domain stream.
+    Unix(UnixStream),
+    /// TCP stream.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// A second handle to the same connection (reader and writer sides
+    /// are cloned handles onto one socket).
+    pub fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+
+    /// Shut down both directions — unblocks a reader thread parked in
+    /// `read` on the other handle.
+    pub fn shutdown(&self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.shutdown(Shutdown::Both),
+            Stream::Tcp(s) => s.shutdown(Shutdown::Both),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    #[test]
+    fn address_grammar_distinguishes_transports() {
+        assert_eq!(
+            ListenAddr::parse("/tmp/mimd.sock"),
+            Ok(ListenAddr::Unix(PathBuf::from("/tmp/mimd.sock")))
+        );
+        assert_eq!(
+            ListenAddr::parse("./local.sock"),
+            Ok(ListenAddr::Unix(PathBuf::from("./local.sock")))
+        );
+        assert_eq!(
+            ListenAddr::parse("127.0.0.1:7000"),
+            Ok(ListenAddr::Tcp("127.0.0.1:7000".into()))
+        );
+        assert!(ListenAddr::parse("").is_err());
+        assert!(ListenAddr::parse("no-slash-no-colon").is_err());
+    }
+
+    #[test]
+    fn tcp_roundtrip_and_actual_port_discovery() {
+        let listener = ListenAddr::parse("127.0.0.1:0").unwrap().bind().unwrap();
+        let bound = listener.local_display();
+        assert!(!bound.ends_with(":0"), "port 0 must resolve: {bound}");
+        let addr = ListenAddr::parse(&bound).unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut client = addr.connect().unwrap();
+            client.write_all(b"ping\n").unwrap();
+            let mut line = String::new();
+            BufReader::new(client).read_line(&mut line).unwrap();
+            line
+        });
+        let server_side = listener.accept().unwrap();
+        let mut reader = BufReader::new(server_side.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "ping\n");
+        let mut writer = server_side;
+        writer.write_all(b"pong\n").unwrap();
+        assert_eq!(handle.join().unwrap(), "pong\n");
+    }
+
+    #[test]
+    fn unix_bind_replaces_stale_socket_file() {
+        let path = std::env::temp_dir().join(format!("mimd-transport-{}.sock", std::process::id()));
+        let addr = ListenAddr::Unix(path.clone());
+        let first = addr.bind().unwrap();
+        drop(first); // leaves the socket file behind
+        assert!(path.exists());
+        let second = addr.bind().unwrap(); // must not fail on the stale file
+        let client = addr.connect();
+        assert!(client.is_ok());
+        drop(second);
+        let _ = std::fs::remove_file(&path);
+    }
+}

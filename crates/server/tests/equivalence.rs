@@ -1,0 +1,324 @@
+//! The concurrent server must be observationally identical to the
+//! stdin serve loop, per session: same responses for a single
+//! connection, same per-session records under sharded interleaving,
+//! and byte-identical to `replay` for every session's record stream.
+
+use std::io::{BufRead, BufReader, Write};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mimd_online::{DynamicWorkload, TraceEvent, TraceHeader};
+use mimd_server::{ListenAddr, LoadgenConfig, Server, ServerConfig};
+use mimd_service::{serve_jsonl, trace_requests, MappingService, Response, SessionConfig};
+use mimd_taskgraph::clustering::region::random_region_clustering;
+use mimd_taskgraph::workloads::{churn_trace, ChurnRegime};
+use mimd_taskgraph::{ClusteredProblemGraph, GeneratorConfig, LayeredDagGenerator};
+use mimd_topology::TopologySpec;
+
+/// A small deterministic trace: 64 tasks on a torus, `events` mixed
+/// churn events.
+fn small_trace(events: usize, seed: u64) -> (TraceHeader, Vec<TraceEvent>) {
+    let topology = TopologySpec::Torus { rows: 4, cols: 4 };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let system = topology.build(&mut rng).unwrap();
+    let gen = LayeredDagGenerator::new(GeneratorConfig {
+        tasks: 64,
+        ..GeneratorConfig::default()
+    })
+    .unwrap();
+    let problem = gen.generate(&mut rng);
+    let clustering = random_region_clustering(&problem, system.len(), &mut rng).unwrap();
+    let base = ClusteredProblemGraph::new(problem, clustering).unwrap();
+    let trace = churn_trace(&base, events, ChurnRegime::Mixed, &mut rng);
+    let header = TraceHeader {
+        topology,
+        topology_seed: Some(seed),
+        snapshot: DynamicWorkload::from_clustered(&base).snapshot(),
+    };
+    (header, trace)
+}
+
+/// The record stream `mimd replay` emits for this trace, serialized.
+fn replay_records(header: &TraceHeader, events: &[TraceEvent], seed: u64) -> Vec<String> {
+    let service = MappingService::default();
+    let mut records = Vec::new();
+    service
+        .replay(
+            header,
+            events,
+            &SessionConfig::default().resolve(),
+            seed,
+            |record| records.push(serde_json::to_string(record).unwrap()),
+        )
+        .unwrap();
+    records
+}
+
+fn unique_socket(tag: &str) -> ListenAddr {
+    ListenAddr::Unix(
+        std::env::temp_dir().join(format!("mimd-eq-{tag}-{}.sock", std::process::id())),
+    )
+}
+
+/// Drive raw request lines over one connection, reading one response
+/// line per request.
+fn roundtrip(addr: &ListenAddr, lines: &[String]) -> Vec<String> {
+    let stream = addr.connect().unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::with_capacity(lines.len());
+    for line in lines {
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        responses.push(response.trim_end().to_string());
+    }
+    responses
+}
+
+#[test]
+fn socket_serve_matches_stdin_serve_and_replay() {
+    let seed = 7;
+    let (header, events) = small_trace(6, seed);
+    let requests = trace_requests(&header, &events, seed, None, 1);
+    let lines: Vec<String> = requests.iter().map(|r| r.to_json_line()).collect();
+
+    // (a) the stdin loop.
+    let stdin_service = MappingService::default();
+    let input = lines.join("\n") + "\n";
+    let mut output = Vec::new();
+    serve_jsonl(&stdin_service, input.as_bytes(), &mut output).unwrap();
+    let stdin_lines: Vec<String> = String::from_utf8(output)
+        .unwrap()
+        .lines()
+        .map(String::from)
+        .collect();
+
+    // (b) the socket server, sharded.
+    let addr = unique_socket("stdin");
+    let server = Server::bind(
+        Arc::new(MappingService::default()),
+        &addr,
+        ServerConfig {
+            shards: 4,
+            queue_depth: 64,
+        },
+    )
+    .unwrap();
+    let handle = server.spawn();
+    let socket_lines = roundtrip(&addr, &lines);
+    let summary = handle.stop().unwrap();
+
+    assert_eq!(socket_lines, stdin_lines, "socket must match stdin serve");
+    assert_eq!(summary.connections, 1);
+    assert_eq!(summary.requests, lines.len() as u64);
+    assert_eq!(summary.rejected, 0);
+    assert_eq!(summary.malformed_lines(), 0);
+
+    // (c) the session's records must be replay's bytes.
+    let expected = replay_records(&header, &events, seed);
+    let records: Vec<String> = socket_lines
+        .iter()
+        .filter_map(|line| {
+            Response::from_json_line(line)
+                .unwrap()
+                .record()
+                .map(|r| serde_json::to_string(r).unwrap())
+        })
+        .collect();
+    assert_eq!(records, expected, "served records must equal replay bytes");
+}
+
+#[test]
+fn interleaved_sharded_sessions_stay_fifo_and_replay_identical() {
+    let seed = 11;
+    let (header, events) = small_trace(5, seed);
+    let expected = replay_records(&header, &events, seed);
+
+    let addr = unique_socket("interleave");
+    let server = Server::bind(
+        Arc::new(MappingService::default()),
+        &addr,
+        ServerConfig {
+            shards: 4,
+            queue_depth: 64,
+        },
+    )
+    .unwrap();
+    let handle = server.spawn();
+
+    // Two connections, two sessions each, all with the same seed so
+    // every session must produce the same record stream no matter how
+    // the shards interleave.
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            let header = header.clone();
+            let events = events.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let stream = addr.connect().unwrap();
+                let mut writer = stream.try_clone().unwrap();
+                let mut reader = BufReader::new(stream);
+                // Pipeline both opens, then interleave applies as the
+                // responses come back — the reply order across the two
+                // sessions is up to the shards.
+                for _ in 0..2 {
+                    let open = mimd_service::Request::OpenSession {
+                        header: header.clone(),
+                        seed,
+                        config: None,
+                    };
+                    writeln!(writer, "{}", open.to_json_line()).unwrap();
+                }
+                writer.flush().unwrap();
+                let mut per_session: std::collections::BTreeMap<u64, Vec<String>> =
+                    Default::default();
+                let mut applied: std::collections::BTreeMap<u64, usize> = Default::default();
+                let mut closed = 0;
+                while closed < 2 {
+                    let mut line = String::new();
+                    assert!(reader.read_line(&mut line).unwrap() > 0, "early EOF");
+                    let response = Response::from_json_line(line.trim_end()).unwrap();
+                    match &response {
+                        Response::SessionOpened { session, .. }
+                        | Response::Applied { session, .. } => {
+                            per_session
+                                .entry(*session)
+                                .or_default()
+                                .push(serde_json::to_string(response.record().unwrap()).unwrap());
+                            let done = applied.entry(*session).or_insert(0);
+                            let next = if *done < events.len() {
+                                let event = events[*done].clone();
+                                *done += 1;
+                                mimd_service::Request::Apply {
+                                    session: *session,
+                                    event,
+                                }
+                            } else {
+                                mimd_service::Request::CloseSession { session: *session }
+                            };
+                            writeln!(writer, "{}", next.to_json_line()).unwrap();
+                            writer.flush().unwrap();
+                        }
+                        Response::SessionClosed { .. } => closed += 1,
+                        other => panic!("unexpected response: {other:?}"),
+                    }
+                }
+                assert_eq!(per_session.len(), 2, "two sessions on this connection");
+                for (session, records) in per_session {
+                    // FIFO per session: records arrive in event order,
+                    // so the stream equals replay byte-for-byte.
+                    assert_eq!(records, expected, "session {session} diverged");
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().unwrap();
+    }
+    let summary = handle.stop().unwrap();
+    assert_eq!(summary.connections, 2);
+    // 4 sessions × (open + events + close) request lines.
+    assert_eq!(summary.requests, 4 * (events.len() as u64 + 2));
+    assert_eq!(summary.rejected, 0);
+}
+
+#[test]
+fn loadgen_drives_concurrent_sessions_over_tcp() {
+    let seed = 3;
+    let (header, events) = small_trace(3, seed);
+    let addr = ListenAddr::parse("127.0.0.1:0").unwrap();
+    let server = Server::bind(
+        Arc::new(MappingService::default()),
+        &addr,
+        ServerConfig {
+            shards: 2,
+            queue_depth: 256,
+        },
+    )
+    .unwrap();
+    let handle = server.spawn();
+    let bound = ListenAddr::parse(handle.addr()).unwrap();
+
+    let report = mimd_server::run_loadgen(
+        &bound,
+        &LoadgenConfig {
+            sessions: 16,
+            connections: 4,
+            header,
+            events,
+            seed,
+            rate: None,
+        },
+    )
+    .unwrap();
+    let summary = handle.stop().unwrap();
+
+    let expected_requests = 16 * (3 + 2) as u64;
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.sessions_closed, 16);
+    assert_eq!(report.requests, expected_requests);
+    assert_eq!(report.responses, expected_requests);
+    assert_eq!(report.latency.count, expected_requests);
+    assert!(report.requests_per_sec > 0.0);
+    assert_eq!(summary.connections, 4);
+    assert_eq!(summary.requests, expected_requests);
+    assert_eq!(summary.rejected, 0);
+}
+
+#[test]
+fn malformed_lines_are_accounted_per_connection() {
+    let (header, events) = small_trace(1, 5);
+    let addr = unique_socket("malformed");
+    let server = Server::bind(
+        Arc::new(MappingService::default()),
+        &addr,
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let handle = server.spawn();
+
+    // Connection 1: a clean session. Connection 2: two garbage lines
+    // (plus a comment and a blank, which are skipped, not malformed).
+    let requests = trace_requests(&header, &events, 5, None, 1);
+    let clean: Vec<String> = requests.iter().map(|r| r.to_json_line()).collect();
+    let clean_responses = roundtrip(&addr, &clean);
+    assert!(clean_responses
+        .iter()
+        .all(|l| !Response::from_json_line(l).unwrap().is_error()));
+
+    let dirty = vec![
+        "# comment".to_string(),
+        "".to_string(),
+        "not json".to_string(),
+        "{\"op\":\"no_such_op\"}".to_string(),
+    ];
+    let stream = addr.connect().unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    for line in &dirty {
+        writeln!(writer, "{line}").unwrap();
+    }
+    writer.flush().unwrap();
+    for _ in 0..2 {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).unwrap() > 0);
+        let response = Response::from_json_line(line.trim_end()).unwrap();
+        assert!(response.is_error(), "garbage must answer an error");
+    }
+    drop((writer, reader));
+
+    let summary = handle.stop().unwrap();
+    assert_eq!(summary.connections, 2);
+    assert_eq!(summary.malformed_lines(), 2);
+    let by_conn: Vec<(u64, u64)> = summary
+        .per_connection
+        .iter()
+        .map(|c| (c.conn, c.malformed_lines))
+        .collect();
+    assert_eq!(by_conn, vec![(1, 0), (2, 2)]);
+}

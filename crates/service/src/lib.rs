@@ -29,10 +29,10 @@ pub mod serve;
 pub mod service;
 
 pub use protocol::{
-    CatalogEntry, ErrorCode, ErrorCounters, Request, Response, ServiceError, ServiceStats,
-    SessionConfig,
+    CatalogEntry, ErrorCode, ErrorCounters, Request, Response, ServerGauges, ServiceError,
+    ServiceStats, SessionConfig,
 };
 pub use serve::{
     serve_jsonl, serve_jsonl_with, stats_line, trace_requests, ServeOptions, ServeSummary,
 };
-pub use service::{MappingService, ServiceConfig};
+pub use service::{MappingService, ServerGaugeSource, ServiceConfig};

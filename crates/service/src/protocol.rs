@@ -249,6 +249,25 @@ pub struct ServiceStats {
     /// journal enabled.
     #[serde(default)]
     pub journal: JournalStats,
+    /// Concurrent-server gauges (active connections, queued requests,
+    /// inflight requests) — all zero unless a `mimd-server` front end
+    /// is driving the service.
+    #[serde(default)]
+    pub server: ServerGauges,
+}
+
+/// Point-in-time gauges a concurrent server front end maintains on the
+/// service (see `mimd-server`): how many transport connections are
+/// open, how many admitted requests are waiting in shard queues, and
+/// how many are being handled right now.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerGauges {
+    /// Transport connections currently open.
+    pub active_connections: usize,
+    /// Requests admitted to shard queues and not yet picked up.
+    pub queue_depth: usize,
+    /// Requests a shard worker is handling right now.
+    pub inflight: usize,
 }
 
 /// Error responses tallied per [`ErrorCode`] category.
@@ -266,6 +285,11 @@ pub struct ErrorCounters {
     pub unknown_session: usize,
     /// [`ErrorCode::SessionLimit`] responses.
     pub session_limit: usize,
+    /// [`ErrorCode::Overloaded`] responses (admission-control
+    /// rejections; defaults so stats written before the concurrent
+    /// server existed still deserialize).
+    #[serde(default)]
+    pub overloaded: usize,
 }
 
 impl ErrorCounters {
@@ -277,6 +301,7 @@ impl ErrorCounters {
             + self.workload
             + self.unknown_session
             + self.session_limit
+            + self.overloaded
     }
 
     /// The tally for one error code.
@@ -288,6 +313,7 @@ impl ErrorCounters {
             ErrorCode::Workload => self.workload,
             ErrorCode::UnknownSession => self.unknown_session,
             ErrorCode::SessionLimit => self.session_limit,
+            ErrorCode::Overloaded => self.overloaded,
         }
     }
 }
@@ -308,6 +334,10 @@ pub enum ErrorCode {
     UnknownSession,
     /// The per-service session cap would be exceeded.
     SessionLimit,
+    /// The concurrent server refused admission: the target shard's
+    /// bounded queue was full, or the server was draining for shutdown.
+    /// Back off and retry; the request was never handled.
+    Overloaded,
 }
 
 /// A structured failure: every failed request maps to exactly one of

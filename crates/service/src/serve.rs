@@ -122,7 +122,8 @@ pub fn stats_line(stats: &crate::protocol::ServiceStats, uptime_secs: u64) -> St
     format!(
         "stats uptime_s={} requests_served={} errors={} open_sessions={} \
          sessions_opened={} map_once_served={} events_applied={} \
-         journal_events={} journal_dropped={}",
+         journal_events={} journal_dropped={} active_connections={} \
+         queue_depth={} inflight={}",
         uptime_secs,
         stats.requests_served,
         stats.errors.total(),
@@ -132,6 +133,9 @@ pub fn stats_line(stats: &crate::protocol::ServiceStats, uptime_secs: u64) -> St
         stats.events_applied,
         stats.journal.events,
         stats.journal.dropped,
+        stats.server.active_connections,
+        stats.server.queue_depth,
+        stats.server.inflight,
     )
 }
 

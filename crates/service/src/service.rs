@@ -86,7 +86,7 @@ struct SessionEntry {
 
 /// Lock-free per-[`ErrorCode`] tallies (one atomic per category).
 #[derive(Default)]
-struct ErrorTallies([AtomicUsize; 6]);
+struct ErrorTallies([AtomicUsize; 7]);
 
 impl ErrorTallies {
     fn slot(code: ErrorCode) -> usize {
@@ -97,6 +97,7 @@ impl ErrorTallies {
             ErrorCode::Workload => 3,
             ErrorCode::UnknownSession => 4,
             ErrorCode::SessionLimit => 5,
+            ErrorCode::Overloaded => 6,
         }
     }
 
@@ -113,6 +114,57 @@ impl ErrorTallies {
             workload: of(ErrorCode::Workload),
             unknown_session: of(ErrorCode::UnknownSession),
             session_limit: of(ErrorCode::SessionLimit),
+            overloaded: of(ErrorCode::Overloaded),
+        }
+    }
+}
+
+/// The live atomics behind [`crate::protocol::ServerGauges`]: a
+/// concurrent server front end (`mimd-server`) updates them as
+/// connections open, requests queue and shard workers run, and
+/// [`MappingService::stats`] snapshots them — so `stats` responses and
+/// the periodic [`crate::stats_line`] reflect the server without the
+/// service depending on it.
+#[derive(Debug, Default)]
+pub struct ServerGaugeSource {
+    active_connections: AtomicUsize,
+    queue_depth: AtomicUsize,
+    inflight: AtomicUsize,
+}
+
+impl ServerGaugeSource {
+    /// A transport connection was accepted.
+    pub fn connection_opened(&self) {
+        self.active_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A transport connection ended.
+    pub fn connection_closed(&self) {
+        self.active_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A request was admitted to a shard queue.
+    pub fn enqueued(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A shard worker picked a queued request up and is handling it.
+    pub fn dequeued_inflight(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The handled request's response was written.
+    pub fn inflight_done(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot for [`crate::protocol::ServiceStats`].
+    pub fn snapshot(&self) -> crate::protocol::ServerGauges {
+        crate::protocol::ServerGauges {
+            active_connections: self.active_connections.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed),
         }
     }
 }
@@ -131,6 +183,7 @@ pub struct MappingService {
     events_applied: AtomicUsize,
     requests_served: AtomicUsize,
     errors: ErrorTallies,
+    server_gauges: Arc<ServerGaugeSource>,
 }
 
 impl Default for MappingService {
@@ -164,6 +217,7 @@ impl MappingService {
             events_applied: AtomicUsize::new(0),
             requests_served: AtomicUsize::new(0),
             errors: ErrorTallies::default(),
+            server_gauges: Arc::new(ServerGaugeSource::default()),
         }
     }
 
@@ -214,12 +268,44 @@ impl MappingService {
             errors: self.errors.snapshot(),
             telemetry: self.recorder.snapshot(),
             journal: self.recorder.journal().stats(),
+            server: self.server_gauges.snapshot(),
         }
+    }
+
+    /// The live server-gauge atomics a concurrent front end updates;
+    /// [`MappingService::stats`] snapshots them into
+    /// [`ServiceStats::server`].
+    pub fn server_gauges(&self) -> Arc<ServerGaugeSource> {
+        Arc::clone(&self.server_gauges)
     }
 
     /// Serve one request. Never panics on bad input: every failure maps
     /// to a structured [`Response::Error`].
     pub fn handle(&self, request: Request) -> Response {
+        self.handle_reserved(request, None)
+    }
+
+    /// Pre-allocate the session id the *next* `OpenSession` handled
+    /// with it will get (see [`MappingService::handle_reserved`]).
+    ///
+    /// A concurrent front end reserves the id at intake — the moment it
+    /// reads an `OpenSession` line off a connection — so (a) the shard
+    /// the session hashes to is known before the open is handled and
+    /// every later request for that session queues FIFO behind it, and
+    /// (b) ids stay deterministic in *intake* order (1, 2, 3, …) even
+    /// though shards handle opens concurrently. A reserved id is burned
+    /// if its open later fails — deterministic from the request stream,
+    /// exactly like a failed open consuming no id is on the serial
+    /// path.
+    pub fn reserve_session_id(&self) -> u64 {
+        self.next_session.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// [`MappingService::handle`] with an optional pre-reserved session
+    /// id (from [`MappingService::reserve_session_id`]) that an
+    /// `OpenSession` request will be registered under instead of
+    /// allocating a fresh one. Ops other than `OpenSession` ignore it.
+    pub fn handle_reserved(&self, request: Request, reserved: Option<u64>) -> Response {
         let request_id = self.requests_served.fetch_add(1, Ordering::Relaxed) as u64 + 1;
         // One latency histogram per op kind; the span name is fixed
         // before dispatch so the clock covers the whole handler. The op
@@ -236,7 +322,7 @@ impl MappingService {
                 header,
                 seed,
                 config,
-            } => self.open_session(&header, seed, config.unwrap_or_default()),
+            } => self.open_session(&header, seed, config.unwrap_or_default(), reserved),
             Request::Apply { session, event } => self.apply(session, &event),
             Request::CloseSession { session } => self.close_session(session),
             Request::Catalog => Response::Catalog {
@@ -266,6 +352,29 @@ impl MappingService {
         self.requests_served.fetch_add(1, Ordering::Relaxed);
         self.errors.bump(ErrorCode::BadRequest);
         self.recorder.incr("serve.malformed_lines");
+    }
+
+    /// [`MappingService::note_malformed_line`] for a line read off
+    /// server connection `conn`: the journal event carries the
+    /// connection id so per-connection malformed counts survive into
+    /// the drain summary.
+    pub fn note_malformed_line_conn(&self, conn: u64) {
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+        self.errors.bump(ErrorCode::BadRequest);
+        self.recorder
+            .clone()
+            .with_conn(conn)
+            .incr("serve.malformed_lines");
+    }
+
+    /// Count a request rejected at admission — the shard queue it
+    /// hashed to was full (or draining), so it consumed a request slot
+    /// and answered [`ErrorCode::Overloaded`] without `handle` ever
+    /// seeing it.
+    pub fn note_overloaded(&self) {
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+        self.errors.bump(ErrorCode::Overloaded);
+        self.recorder.incr("serve.overloaded");
     }
 
     /// Count a serve-loop request whose latency crossed the
@@ -345,7 +454,13 @@ impl MappingService {
         }
     }
 
-    fn open_session(&self, header: &TraceHeader, seed: u64, config: SessionConfig) -> Response {
+    fn open_session(
+        &self,
+        header: &TraceHeader,
+        seed: u64,
+        config: SessionConfig,
+        reserved: Option<u64>,
+    ) -> Response {
         // Cheap fast-path rejection before paying for a V-cycle; the
         // authoritative check happens again under the lock at insert.
         if let Some(response) = self.session_limit_error() {
@@ -398,7 +513,7 @@ impl MappingService {
                 )
                 .into_response();
             }
-            let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+            let id = reserved.unwrap_or_else(|| self.next_session.fetch_add(1, Ordering::Relaxed));
             sessions.insert(
                 id,
                 Arc::new(Mutex::new(SessionEntry {
@@ -605,6 +720,71 @@ mod tests {
             Response::SessionOpened { session, .. } => assert_eq!(session, 4),
             other => panic!("expected SessionOpened, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn reserved_ids_open_deterministically_and_burn_on_skip() {
+        let service = MappingService::default();
+        let (header, _) = torus_header(3);
+        // Intake-order reservation: ids come out 1, 2, … regardless of
+        // which shard eventually handles the open.
+        let first = service.reserve_session_id();
+        let skipped = service.reserve_session_id();
+        assert_eq!((first, skipped), (1, 2));
+        match service.handle_reserved(
+            Request::OpenSession {
+                header: header.clone(),
+                seed: 1,
+                config: None,
+            },
+            Some(first),
+        ) {
+            Response::SessionOpened { session, .. } => assert_eq!(session, first),
+            other => panic!("expected SessionOpened, got {other:?}"),
+        }
+        // A reservation whose open never lands is burned: the serial
+        // path allocates past it, never reusing the id.
+        match service.handle(Request::OpenSession {
+            header,
+            seed: 2,
+            config: None,
+        }) {
+            Response::SessionOpened { session, .. } => assert_eq!(session, 3),
+            other => panic!("expected SessionOpened, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn admission_notes_count_as_served_errors() {
+        let service = MappingService::default();
+        service.note_overloaded();
+        service.note_malformed_line_conn(7);
+        let stats = service.stats();
+        assert_eq!(stats.requests_served, 2);
+        assert_eq!(stats.errors.overloaded, 1);
+        assert_eq!(stats.errors.of(ErrorCode::Overloaded), 1);
+        assert_eq!(stats.errors.of(ErrorCode::BadRequest), 1);
+        assert_eq!(stats.errors.total(), 2);
+    }
+
+    #[test]
+    fn server_gauges_surface_in_stats() {
+        let service = MappingService::default();
+        let gauges = service.server_gauges();
+        gauges.connection_opened();
+        gauges.connection_opened();
+        gauges.enqueued();
+        gauges.enqueued();
+        gauges.dequeued_inflight();
+        let server = service.stats().server;
+        assert_eq!(server.active_connections, 2);
+        assert_eq!(server.queue_depth, 1);
+        assert_eq!(server.inflight, 1);
+        gauges.inflight_done();
+        gauges.connection_closed();
+        let server = service.stats().server;
+        assert_eq!(server.active_connections, 1);
+        assert_eq!(server.inflight, 0);
     }
 
     #[test]

@@ -69,6 +69,11 @@ pub struct Event {
     pub session: Option<u64>,
     /// Request id carried by the emitting handle, if any.
     pub request: Option<u64>,
+    /// Server connection id carried by the emitting handle, if any —
+    /// absent everywhere except concurrent-serve traffic, so the field
+    /// deserializes from journals written before connections existed.
+    #[serde(default)]
+    pub conn: Option<u64>,
     /// Counter increment for `Counter` events.
     pub value: Option<u64>,
 }
@@ -146,6 +151,7 @@ struct EventCtx {
     job: Option<u64>,
     session: Option<u64>,
     request: Option<u64>,
+    conn: Option<u64>,
 }
 
 /// The shared event journal. Clones are handles onto one underlying
@@ -210,6 +216,12 @@ impl Journal {
         self
     }
 
+    /// This handle with its server-connection context set to `id`.
+    pub fn with_conn(mut self, id: u64) -> Self {
+        self.ctx.conn = Some(id);
+        self
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn emit(
         &self,
@@ -232,6 +244,7 @@ impl Journal {
             job: self.ctx.job,
             session: self.ctx.session,
             request: self.ctx.request,
+            conn: self.ctx.conn,
             value,
         };
         state.next_seq += 1;
@@ -402,6 +415,9 @@ impl JournalSnapshot {
             if let Some(request) = event.request {
                 out.push_str(&format!(",\"request\":{request}"));
             }
+            if let Some(conn) = event.conn {
+                out.push_str(&format!(",\"conn\":{conn}"));
+            }
             if event.kind == EventKind::Counter {
                 let total = running.entry(event.name.clone()).or_insert(0);
                 *total += event.value.unwrap_or(0);
@@ -503,17 +519,27 @@ mod tests {
         let j = Journal::enabled();
         let jobbed = j.clone().with_job(7).with_request(1);
         let sessioned = j.clone().with_session(42);
+        let connected = j.clone().with_conn(3);
         jobbed.instant("a");
         sessioned.instant("b");
         j.instant("c");
+        connected.instant("d");
         let snap = j.snapshot();
         assert_eq!(snap.events[0].job, Some(7));
         assert_eq!(snap.events[0].request, Some(1));
         assert_eq!(snap.events[0].session, None);
+        assert_eq!(snap.events[0].conn, None);
         assert_eq!(snap.events[1].session, Some(42));
         assert_eq!(snap.events[1].job, None);
         assert_eq!(snap.events[2].job, None);
         assert_eq!(snap.events[2].session, None);
+        assert_eq!(snap.events[3].conn, Some(3));
+        // An old-format line (no conn field) still deserializes.
+        let mut line = serde_json::to_string(&snap.events[0]).unwrap();
+        assert!(line.contains("\"conn\":null"), "{line}");
+        line = line.replace(",\"conn\":null", "");
+        let back: Event = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, snap.events[0]);
     }
 
     #[test]

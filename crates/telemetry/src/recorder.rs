@@ -124,6 +124,13 @@ impl Recorder {
         self
     }
 
+    /// This handle with its journal server-connection context set to
+    /// `id`.
+    pub fn with_conn(mut self, id: u64) -> Self {
+        self.journal = self.journal.with_conn(id);
+        self
+    }
+
     /// This handle with a gain scope: nested refinement runs report
     /// into the ledger as `pass` at `level` instead of their default
     /// pass names. The scope is per-handle — the V-cycle hands a scoped

@@ -6,6 +6,7 @@ pub use mimd_graph as graph;
 pub use mimd_multilevel as multilevel;
 pub use mimd_online as online;
 pub use mimd_report as report;
+pub use mimd_server as server;
 pub use mimd_service as service;
 pub use mimd_sim as sim;
 pub use mimd_taskgraph as taskgraph;
